@@ -1,0 +1,29 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench reproduce validate quick-reproduce clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper artefact into results/ and grade it.
+reproduce:
+	$(PYTHON) -m repro.cli reproduce --out results
+	$(PYTHON) -m repro.cli validate results
+
+quick-reproduce:
+	$(PYTHON) -m repro.cli reproduce --out results-quick --quick
+
+validate:
+	$(PYTHON) -m repro.cli validate results
+
+clean:
+	rm -rf results results-quick benchmarks/results .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

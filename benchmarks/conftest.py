@@ -1,0 +1,37 @@
+"""Benchmark-harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures, asserts
+its headline shape, prints the rendered table, and archives it under
+``benchmarks/results/``.  Figure regeneration involves full simulation
+runs, so each benchmark executes exactly one round.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def archive(results_dir):
+    """Print a rendered artefact and save it under benchmarks/results/."""
+
+    def _archive(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _archive
+
+
+def one_shot(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

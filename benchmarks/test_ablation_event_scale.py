@@ -1,0 +1,74 @@
+"""Ablation: sensitivity of the headline verdicts to EVENT_TIME_SCALE.
+
+The net-savings metric deflates event-based dynamic overheads by the
+dead-time compression factor (default 5; see repro/leakctl/energy.py).
+This ablation re-evaluates the same runs under different factors — the
+results are dataclass fields, so no re-simulation is needed — and checks
+how the paper's verdicts depend on the correction:
+
+* the 17-cycle verdict (drowsy clearly superior) must hold at *every*
+  factor, including 1 (no correction): the crossover is not an artifact
+  of the correction;
+* the 5-cycle verdict (gated superior) must hold from a factor of ~2.5
+  up: it needs the event-rate inflation to be at least partly corrected,
+  which is exactly what the correction is for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import one_shot
+from repro.experiments.reporting import render_table
+from repro.experiments.runner import figure_point
+from repro.leakctl.base import drowsy_technique, gated_vss_technique
+
+BENCHES = ("gcc", "gzip", "twolf", "perl", "crafty")
+SCALES = (1.0, 2.5, 5.0, 10.0)
+
+
+def run_sensitivity():
+    raw = {}
+    for l2 in (5, 17):
+        for bench in BENCHES:
+            raw[(l2, bench, "dr")] = figure_point(
+                bench, drowsy_technique(), l2_latency=l2, temp_c=110.0
+            )
+            raw[(l2, bench, "gv")] = figure_point(
+                bench, gated_vss_technique(), l2_latency=l2, temp_c=110.0
+            )
+
+    rows = []
+    verdicts = {}
+    for l2 in (5, 17):
+        for scale in SCALES:
+            dr = sum(
+                replace(raw[(l2, b, "dr")], event_time_scale=scale).net_savings_pct
+                for b in BENCHES
+            ) / len(BENCHES)
+            gv = sum(
+                replace(raw[(l2, b, "gv")], event_time_scale=scale).net_savings_pct
+                for b in BENCHES
+            ) / len(BENCHES)
+            winner = "gated-vss" if gv > dr else "drowsy"
+            verdicts[(l2, scale)] = winner
+            rows.append(
+                [f"{l2}", f"{scale:g}", f"{dr:6.1f}", f"{gv:6.1f}", winner]
+            )
+    text = "Ablation: EVENT_TIME_SCALE sensitivity (avg of 5 benchmarks)\n"
+    text += render_table(
+        ["L2", "scale", "drowsy net %", "gated net %", "winner"], rows
+    )
+    return text, verdicts
+
+
+def test_event_scale_sensitivity(benchmark, archive):
+    text, verdicts = one_shot(benchmark, run_sensitivity)
+    archive("ablation_event_scale", text)
+
+    # Slow L2: drowsy wins regardless of the correction.
+    for scale in SCALES:
+        assert verdicts[(17, scale)] == "drowsy", scale
+    # Fast L2: gated wins once the event-rate inflation is corrected.
+    for scale in (2.5, 5.0, 10.0):
+        assert verdicts[(5, scale)] == "gated-vss", scale

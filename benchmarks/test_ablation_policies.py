@@ -1,0 +1,140 @@
+"""Ablations of the paper's design choices (Sections 2.3 and 5.3).
+
+* ``noaccess`` vs ``simple`` decay policy: the paper notes the simple
+  policy "loses out in performance... but saves more leakage power".
+* Tag decay vs live tags (Section 5.3): live tags reduce drowsy's
+  performance loss (no tag wake on misses) but forfeit the 5-10 % of
+  leakage residing in the tags, reducing the gross (leakage-only) savings.
+* RBB (the technique the paper declined to simulate): GIDL-limited at
+  70 nm, it must land clearly below both headline techniques.
+"""
+
+from __future__ import annotations
+
+from conftest import one_shot
+from repro.experiments.reporting import render_table
+from repro.experiments.runner import figure_point
+from repro.leakctl.base import (
+    DecayPolicy,
+    drowsy_technique,
+    gated_vss_technique,
+    rbb_technique,
+)
+
+BENCHES = ("gcc", "gzip", "twolf")
+
+
+def run_policy_ablation():
+    rows = []
+    data = {}
+    for bench in BENCHES:
+        noaccess = figure_point(
+            bench, drowsy_technique(), l2_latency=11, temp_c=110.0,
+            policy=DecayPolicy.NOACCESS,
+        )
+        simple = figure_point(
+            bench, drowsy_technique(), l2_latency=11, temp_c=110.0,
+            policy=DecayPolicy.SIMPLE,
+        )
+        data[bench] = (noaccess, simple)
+        rows.append(
+            [
+                bench,
+                f"{noaccess.net_savings_pct:6.1f}",
+                f"{simple.net_savings_pct:6.1f}",
+                f"{noaccess.perf_loss_pct:5.2f}",
+                f"{simple.perf_loss_pct:5.2f}",
+                f"{noaccess.turnoff_ratio:4.2f}",
+                f"{simple.turnoff_ratio:4.2f}",
+            ]
+        )
+    text = "Ablation: drowsy noaccess vs simple policy (110C, L2=11)\n"
+    text += render_table(
+        ["benchmark", "noaccess net %", "simple net %", "noaccess loss %",
+         "simple loss %", "noaccess off", "simple off"],
+        rows,
+    )
+    return text, data
+
+
+def test_ablation_noaccess_vs_simple(benchmark, archive):
+    text, data = one_shot(benchmark, run_policy_ablation)
+    archive("ablation_policy", text)
+    for bench, (noaccess, simple) in data.items():
+        # The simple policy blankets everything: higher turnoff ratio...
+        assert simple.turnoff_ratio > noaccess.turnoff_ratio, bench
+        # ...at some extra performance loss (paper Section 2.3).
+        assert simple.perf_loss_pct > noaccess.perf_loss_pct - 0.2, bench
+        assert simple.slow_hits > noaccess.slow_hits, bench
+
+
+def run_tag_ablation():
+    rows = []
+    data = {}
+    for bench in BENCHES:
+        decayed = figure_point(
+            bench, drowsy_technique(decay_tags=True), l2_latency=11, temp_c=110.0
+        )
+        live = figure_point(
+            bench, drowsy_technique(decay_tags=False), l2_latency=11, temp_c=110.0
+        )
+        data[bench] = (decayed, live)
+        rows.append(
+            [
+                bench,
+                f"{decayed.gross_savings_pct:6.1f}",
+                f"{live.gross_savings_pct:6.1f}",
+                f"{decayed.perf_loss_pct:5.2f}",
+                f"{live.perf_loss_pct:5.2f}",
+            ]
+        )
+    text = "Ablation: drowsy tags decayed vs live (Section 5.3)\n"
+    text += render_table(
+        ["benchmark", "decayed gross %", "live gross %", "decayed loss %",
+         "live loss %"],
+        rows,
+    )
+    return text, data
+
+
+def test_ablation_tag_decay(benchmark, archive):
+    text, data = one_shot(benchmark, run_tag_ablation)
+    archive("ablation_tags", text)
+    for bench, (decayed, live) in data.items():
+        # Live tags: leakage-only (gross) savings shrink — the tag array
+        # can no longer be reclaimed...
+        assert live.gross_savings_pct < decayed.gross_savings_pct, bench
+        # ...but drowsy stops paying the tag wake on misses.
+        assert live.perf_loss_pct < decayed.perf_loss_pct, bench
+
+
+def run_rbb_comparison():
+    rows = []
+    data = {}
+    for bench in BENCHES:
+        results = {
+            "drowsy": figure_point(bench, drowsy_technique(), l2_latency=11,
+                                   temp_c=110.0),
+            "gated-vss": figure_point(bench, gated_vss_technique(), l2_latency=11,
+                                      temp_c=110.0),
+            "rbb": figure_point(bench, rbb_technique(), l2_latency=11,
+                                temp_c=110.0),
+        }
+        data[bench] = results
+        rows.append(
+            [bench]
+            + [f"{results[t].net_savings_pct:6.1f}" for t in ("drowsy", "gated-vss", "rbb")]
+        )
+    text = "Extension: RBB vs drowsy vs gated-Vss at 70 nm (110C, L2=11)\n"
+    text += render_table(["benchmark", "drowsy net %", "gated net %", "rbb net %"], rows)
+    return text, data
+
+
+def test_rbb_gidl_limited(benchmark, archive):
+    text, data = one_shot(benchmark, run_rbb_comparison)
+    archive("ablation_rbb", text)
+    for bench, results in data.items():
+        # GIDL erodes RBB at 70 nm: clearly below both studied techniques —
+        # the paper's stated reason for not pursuing RBB.
+        assert results["rbb"].net_savings_pct < results["drowsy"].net_savings_pct, bench
+        assert results["rbb"].net_savings_pct < results["gated-vss"].net_savings_pct, bench

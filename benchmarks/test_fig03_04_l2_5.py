@@ -1,0 +1,29 @@
+"""Figures 3/4: net savings and performance loss at 110 C, 5-cycle L2.
+
+Paper shape: with a fast on-chip L2, gated-Vss is *almost uniformly
+superior* — better net savings for nearly every benchmark AND lower
+average performance loss.
+"""
+
+from __future__ import annotations
+
+from conftest import one_shot
+from repro.experiments.figures import figure_3_4
+from repro.experiments.reporting import render_comparison
+
+
+def test_fig03_04(benchmark, archive):
+    fig = one_shot(benchmark, figure_3_4)
+    archive("fig03_04_l2_5", render_comparison(fig))
+
+    n = len(fig.rows)
+    assert n == 11
+    # Gated-Vss wins on average savings by a clear margin...
+    assert fig.avg_gated_savings > fig.avg_drowsy_savings + 3.0
+    # ...and for nearly every benchmark individually,
+    assert fig.gated_win_count >= n - 1
+    # ...while also losing less performance.
+    assert fig.avg_gated_loss < fig.avg_drowsy_loss
+    # Savings magnitudes in a plausible band.
+    assert 20.0 < fig.avg_drowsy_savings < 80.0
+    assert 30.0 < fig.avg_gated_savings < 90.0

@@ -1,0 +1,22 @@
+"""Figures 5/6: net savings and performance loss at 110 C, 8-cycle L2.
+
+Paper shape: gated-Vss still superior on average, but drowsy wins a small
+number of benchmarks.
+"""
+
+from __future__ import annotations
+
+from conftest import one_shot
+from repro.experiments.figures import figure_5_6
+from repro.experiments.reporting import render_comparison
+
+
+def test_fig05_06(benchmark, archive):
+    fig = one_shot(benchmark, figure_5_6)
+    archive("fig05_06_l2_8", render_comparison(fig))
+
+    n = len(fig.rows)
+    assert fig.avg_gated_savings > fig.avg_drowsy_savings
+    # Drowsy is superior for a small number of benchmarks (1-4 of 11).
+    drowsy_wins = n - fig.gated_win_count
+    assert 1 <= drowsy_wins <= 4

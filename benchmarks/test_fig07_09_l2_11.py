@@ -1,0 +1,49 @@
+"""Figures 7, 8 and 9: the 11-cycle L2 design point at both temperatures.
+
+* Figure 8/9 (110 C): the "less clear" point — gated slightly better in
+  average savings, slightly worse in average performance loss, with each
+  technique winning about half the benchmarks.
+* Figure 7 (85 C): same configuration cooler — savings drop for both
+  (leakage is exponential in temperature), relative ranking roughly
+  unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import one_shot
+from repro.experiments.figures import figure_7, figure_8_9
+from repro.experiments.reporting import render_comparison
+
+
+@pytest.fixture(scope="module")
+def fig_110():
+    return figure_8_9()
+
+
+def test_fig08_09_110c(benchmark, archive, fig_110):
+    fig = one_shot(benchmark, lambda: fig_110)
+    archive("fig08_09_l2_11_110c", render_comparison(fig))
+
+    n = len(fig.rows)
+    # Gated slightly better in average savings...
+    assert fig.avg_gated_savings > fig.avg_drowsy_savings - 1.0
+    assert fig.avg_gated_savings < fig.avg_drowsy_savings + 15.0
+    # ...slightly worse in average performance loss...
+    assert fig.avg_gated_loss > fig.avg_drowsy_loss - 0.3
+    # ...and the per-benchmark verdicts are split roughly evenly.
+    assert 3 <= fig.gated_win_count <= 8
+
+
+def test_fig07_85c(benchmark, archive, fig_110):
+    fig85 = one_shot(benchmark, figure_7)
+    archive("fig07_l2_11_85c", render_comparison(fig85))
+
+    # Cooler silicon leaks less: both techniques save less at 85 C.
+    assert fig85.avg_drowsy_savings < fig_110.avg_drowsy_savings
+    assert fig85.avg_gated_savings < fig_110.avg_gated_savings
+    # Temperature has little impact on the *relative* verdict (Sec. 5.2).
+    gap_85 = fig85.avg_gated_savings - fig85.avg_drowsy_savings
+    gap_110 = fig_110.avg_gated_savings - fig_110.avg_drowsy_savings
+    assert abs(gap_85 - gap_110) < 12.0

@@ -1,0 +1,24 @@
+"""Figures 10/11: net savings and performance loss at 110 C, 17-cycle L2.
+
+Paper shape: with a slow L2, gated-Vss can no longer hide the induced-miss
+latency and "drowsy cache becomes clearly superior".
+"""
+
+from __future__ import annotations
+
+from conftest import one_shot
+from repro.experiments.figures import figure_10_11
+from repro.experiments.reporting import render_comparison
+
+
+def test_fig10_11(benchmark, archive):
+    fig = one_shot(benchmark, figure_10_11)
+    archive("fig10_11_l2_17", render_comparison(fig))
+
+    n = len(fig.rows)
+    # Drowsy clearly superior on average...
+    assert fig.avg_drowsy_savings > fig.avg_gated_savings + 3.0
+    # ...winning a clear majority of benchmarks...
+    assert fig.gated_win_count <= n // 2
+    # ...and gated's performance loss now exceeds drowsy's.
+    assert fig.avg_gated_loss > fig.avg_drowsy_loss

@@ -1,0 +1,70 @@
+"""Figures 12/13 and Table 3: best per-benchmark decay intervals (85 C, L2=11).
+
+Paper shape: "adaptivity primarily benefits gated-Vss, because the best
+decay intervals vary so widely"; gated's best intervals spread across a
+wide range (2k-64k in the paper), drowsy's cluster at short intervals, and
+the oracle intervals improve gated's savings and loss far more than
+drowsy's.
+
+This is the most expensive benchmark in the harness: it sweeps the full
+decay-interval grid for every benchmark and technique.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import one_shot
+from repro.experiments.figures import figure_7, figure_12_13, table_3
+from repro.experiments.reporting import render_best_intervals, render_interval_table
+
+
+@pytest.fixture(scope="module")
+def fig():
+    return figure_12_13()
+
+
+def test_fig12_13_best_interval(benchmark, archive, fig):
+    result = one_shot(benchmark, lambda: fig)
+    archive("fig12_13_best_interval", render_best_intervals(result))
+
+    # Oracle selection improves both techniques relative to the fixed
+    # default (Figure 7 is the same design point with the fixed interval).
+    fixed = figure_7()
+    drowsy_gain = result.avg_drowsy_savings - fixed.avg_drowsy_savings
+    gated_gain = result.avg_gated_savings - fixed.avg_gated_savings
+    assert drowsy_gain > 0.0
+    assert gated_gain > 0.0
+
+    # The paper's loss claim for gated-Vss: adaptivity "dramatically
+    # reduces performance loss" (1.4 % -> 0.55 % in the paper).  Gated's
+    # oracle picks longer intervals that suppress induced misses, so its
+    # average loss must drop; drowsy's oracle trades the other way
+    # (shorter intervals, more — cheap — slow hits).
+    assert result.avg_gated_loss < fixed.avg_gated_loss
+    assert result.avg_drowsy_loss >= fixed.avg_drowsy_loss - 0.2
+
+    # Known deviation (EXPERIMENTS.md #6): in our compressed runs the
+    # oracle *savings* gain for drowsy exceeds the paper's +4 %, because
+    # shortening the interval still buys real standby time at this scale.
+    # The structural claims above and the Table-3 checks below are the
+    # asserted reproduction targets.
+
+
+def test_tab3_best_intervals(benchmark, archive, fig):
+    table = one_shot(benchmark, lambda: table_3(fig))
+    archive("tab3_best_intervals", render_interval_table(table))
+
+    drowsy_best = [v["drowsy"] for v in table.values()]
+    gated_best = [v["gated-vss"] for v in table.values()]
+
+    # Table 3's structure: for every benchmark the gated-Vss best interval
+    # is at least the drowsy one (gated penalties are costly, drowsy's are
+    # cheap), and gated's optima spread over a wider range.
+    for bench, vals in table.items():
+        assert vals["gated-vss"] >= vals["drowsy"], bench
+    assert max(gated_best) / min(gated_best) > max(drowsy_best) / min(drowsy_best)
+    # Drowsy favours short intervals across the board.
+    assert max(drowsy_best) <= 2048
+    # Gated's optima reach well beyond drowsy's range.
+    assert max(gated_best) >= 8192

@@ -1,0 +1,30 @@
+"""Tables 1 and 2: settling times and machine configuration."""
+
+from __future__ import annotations
+
+from conftest import one_shot
+from repro.experiments.figures import table_1, table_2
+from repro.experiments.reporting import render_machine_table, render_settling_table
+
+
+def test_tab1_settling_times(benchmark, archive):
+    table = one_shot(benchmark, table_1)
+    archive("tab1_settling", render_settling_table(table))
+    # Paper Table 1 verbatim.
+    assert table["Low leak mode to high"] == {"drowsy": 3, "gated-vss": 3}
+    assert table["High leak to low"] == {"drowsy": 3, "gated-vss": 30}
+
+
+def test_tab2_machine_config(benchmark, archive):
+    table = one_shot(benchmark, table_2)
+    archive("tab2_machine", render_machine_table(table))
+    # Paper Table 2 spot checks.
+    assert table["Instruction window"] == "80-RUU, 40-LSQ"
+    assert table["Issue width"] == "4 instructions per cycle"
+    assert "2 mem ports" in table["Functional units"]
+    assert "64 KB, 2-way LRU, 64 B blocks, 2-cycle" in table["L1 D-cache"]
+    assert "64 KB, 2-way LRU, 64 B blocks, 1-cycle" in table["L1 I-cache"]
+    assert "2 MB, 2-way LRU, 64 B blocks, 11-cycle" in table["L2"]
+    assert table["Memory"] == "100 cycles"
+    assert "4K bimod" in table["Branch predictor"]
+    assert "1K-entry, 2-way" in table["Branch target buffer"]

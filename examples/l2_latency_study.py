@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""The paper's headline experiment: drowsy vs gated-Vss across L2 latencies.
+
+Sweeps the L2 latency over the paper's grid {5, 8, 11, 17} for a benchmark
+subset and prints where the crossover falls — the debunking result: the
+non-state-preserving technique wins when the L2 is fast.
+
+Run:  python examples/l2_latency_study.py [benchmark ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import drowsy_technique, figure_point, gated_vss_technique
+from repro.cpu.config import PAPER_L2_LATENCIES
+
+DEFAULT_BENCHMARKS = ("gcc", "gzip", "twolf", "mcf")
+
+
+def main(benchmarks: tuple[str, ...]) -> None:
+    print(f"{'':10s}" + "".join(f"   L2={l}cyc       " for l in PAPER_L2_LATENCIES))
+    print(f"{'benchmark':10s}" + "  drowsy / gated " * len(PAPER_L2_LATENCIES))
+    crossovers = []
+    for bench in benchmarks:
+        cells = []
+        last_winner = None
+        crossover = None
+        for l2 in PAPER_L2_LATENCIES:
+            dr = figure_point(bench, drowsy_technique(), l2_latency=l2, temp_c=110.0)
+            gv = figure_point(
+                bench, gated_vss_technique(), l2_latency=l2, temp_c=110.0
+            )
+            winner = "gated" if gv.net_savings_pct > dr.net_savings_pct else "drowsy"
+            if last_winner == "gated" and winner == "drowsy":
+                crossover = l2
+            last_winner = winner
+            mark = "*" if winner == "gated" else " "
+            cells.append(f"{dr.net_savings_pct:6.1f} /{gv.net_savings_pct:6.1f}{mark}")
+        crossovers.append((bench, crossover))
+        print(f"{bench:10s}" + " ".join(cells))
+    print("\n(* = gated-Vss wins that point)")
+    for bench, crossover in crossovers:
+        if crossover:
+            print(
+                f"{bench}: drowsy overtakes gated-Vss between "
+                f"L2={crossover - 1} and L2={crossover} cycles"
+            )
+        else:
+            print(f"{bench}: no crossover inside the swept range")
+
+
+if __name__ == "__main__":
+    args = tuple(sys.argv[1:]) or DEFAULT_BENCHMARKS
+    main(args)

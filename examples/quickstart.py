@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: the HotLeakage model and one drowsy-vs-gated figure point.
+
+Reproduces, in miniature, the paper's whole flow:
+
+1. configure the leakage model at the paper's operating point
+   (70 nm, 0.9 V, 110 C) and inspect the D-cache's leakage budget;
+2. run one benchmark under both leakage-control techniques;
+3. print the paper's metrics: net energy savings and performance loss.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    HotLeakage,
+    L1D_GEOMETRY,
+    drowsy_technique,
+    figure_point,
+    gated_vss_technique,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The leakage model (paper Section 3).
+    # ------------------------------------------------------------------
+    hot = HotLeakage("70nm", vdd=0.9, temp_c=110.0)
+    print("=== HotLeakage at 70 nm, 0.9 V, 110 C ===")
+    print(f"unit leakage (NMOS):     {hot.unit_leakage() * 1e9:8.1f} nA")
+    print(f"unit leakage (PMOS):     {hot.unit_leakage(pmos=True) * 1e9:8.1f} nA")
+
+    dcache = hot.cache_model(L1D_GEOMETRY)
+    print(f"64 KB L1D leakage power: {dcache.total_power_all_active():8.3f} W")
+    print(f"tag share of leakage:    {dcache.tag_share() * 100:8.1f} %")
+    print(f"drowsy standby residual: {dcache.drowsy_fraction * 100:8.1f} %")
+    print(f"gated  standby residual: {dcache.gated_fraction * 100:8.1f} %")
+
+    # Dynamic recalculation (the HotLeakage headline feature): cool the
+    # chip and watch the leakage drop exponentially.
+    hot.set_temperature(temp_c=85.0)
+    cooler = hot.cache_model(L1D_GEOMETRY)
+    print(f"same cache at 85 C:      {cooler.total_power_all_active():8.3f} W")
+
+    # ------------------------------------------------------------------
+    # 2-3. One figure point per technique (paper Section 5).
+    # ------------------------------------------------------------------
+    print("\n=== gcc under leakage control (110 C, 11-cycle L2) ===")
+    for technique in (drowsy_technique(), gated_vss_technique()):
+        result = figure_point("gcc", technique, l2_latency=11, temp_c=110.0)
+        print(
+            f"{technique.name:10s}: net savings {result.net_savings_pct:5.1f} %  "
+            f"perf loss {result.perf_loss_pct:5.2f} %  "
+            f"turnoff ratio {result.turnoff_ratio:4.2f}  "
+            f"(induced misses: {result.induced_misses}, "
+            f"slow hits: {result.slow_hits})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Technology scaling: why this debate matters at 70 nm and not at 180 nm.
+
+Walks the built-in technology presets (180 -> 70 nm) and prints how the
+L1 D-cache's leakage power and the techniques' standby residuals evolve.
+The ITRS prediction the paper opens with — leakage reaching ~half of
+total power by the 70 nm generation — is visible as the leakage power
+explodes across nodes while the dynamic energy of an access shrinks.
+
+Run:  python examples/technology_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro import HotLeakage, L1D_GEOMETRY, get_node
+from repro.power.cacti import cache_access_energies
+from repro.tech.nodes import available_nodes
+
+
+def main() -> None:
+    header = (
+        f"{'node':>6s} {'Vdd':>5s} {'L1D leak (W)':>13s} {'read (pJ)':>10s} "
+        f"{'drowsy resid':>13s} {'gated resid':>12s} {'gate leak':>10s}"
+    )
+    print(f"--- 110 C, nominal Vdd x 0.9 per node ---")
+    print(header)
+    print("-" * len(header))
+    for name in available_nodes():
+        node = get_node(name)
+        vdd = 0.9 * node.vdd0
+        hot = HotLeakage(name, vdd=vdd, temp_c=110.0)
+        model = hot.cache_model(L1D_GEOMETRY)
+        read_pj = cache_access_energies(L1D_GEOMETRY, node, vdd).read * 1e12
+        gate = "yes" if node.gate_leak_na_per_um > 0 else "no"
+        print(
+            f"{name:>6s} {vdd:5.2f} {model.total_power_all_active():13.4f} "
+            f"{read_pj:10.1f} {model.drowsy_fraction * 100:12.1f}% "
+            f"{model.gated_fraction * 100:11.2f}% {gate:>10s}"
+        )
+    print(
+        "\nAcross four generations the same 64 KB array's leakage grows by"
+        "\norders of magnitude while per-access dynamic energy falls — the"
+        "\nscaling squeeze that makes architectural leakage control (and"
+        "\nthis paper's comparison) a 70 nm question."
+    )
+
+
+if __name__ == "__main__":
+    main()

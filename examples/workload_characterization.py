@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Characterise the synthetic SPECint stand-ins on the Table-2 machine.
+
+Prints, per benchmark: IPC, branch mispredict rate, L1D/L1I/L2 miss
+rates, and the D-cache line dead-time character (turnoff ratio at the
+default decay interval) — the knobs DESIGN.md claims the substitution
+controls. Useful when recalibrating profiles.
+
+Run:  python examples/workload_characterization.py
+"""
+
+from __future__ import annotations
+
+from repro import BENCHMARK_NAMES, MachineConfig, drowsy_technique
+from repro.experiments.runner import figure_point, run_once
+
+
+def main() -> None:
+    machine = MachineConfig()
+    header = (
+        f"{'benchmark':9s} {'IPC':>5s} {'mispred':>8s} {'L1D mr':>7s} "
+        f"{'L1I mr':>7s} {'L2 mr':>6s} {'turnoff':>8s} {'slow/1k':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for bench in BENCHMARK_NAMES:
+        base = run_once(bench, technique=None, machine=machine)
+        decay = figure_point(bench, drowsy_technique(), l2_latency=11, temp_c=110.0)
+        stats = base.stats
+        slow_per_k = 1000.0 * decay.slow_hits / max(decay.accesses, 1)
+        print(
+            f"{bench:9s} {stats.ipc:5.2f} {stats.mispredict_rate:8.3f} "
+            f"{base.hierarchy.l1d_stats.miss_rate:7.3f} "
+            f"{base.hierarchy.l1i.stats.miss_rate:7.3f} "
+            f"{base.hierarchy.l2.stats.miss_rate:6.3f} "
+            f"{decay.turnoff_ratio:8.3f} {slow_per_k:8.1f}"
+        )
+    print(
+        "\nturnoff = avg fraction of D-cache lines in standby at the "
+        "default decay interval\nslow/1k = drowsy slow hits per 1000 "
+        "D-cache accesses (the standby-penalty rate)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,142 @@
+"""repro — reproduction of "Comparison of State-Preserving vs.
+Non-State-Preserving Leakage Control in Caches" (Parikh, Zhang,
+Sankaranarayanan, Skadron, Stan; DATE 2004 / WDDD 2003).
+
+The package provides, bottom-up:
+
+* :mod:`repro.tech` — technology presets (180-70 nm) and inter-die
+  parameter variation;
+* :mod:`repro.circuits` — transistor netlists and a DC leakage solver
+  (the stand-in for the paper's Cadence/AIM-spice runs);
+* :mod:`repro.leakage` — the HotLeakage-style model: BSIM3 subthreshold
+  equation, gate leakage + GIDL, dual k_design, cells, cache/regfile
+  structures, and the :class:`~repro.leakage.HotLeakage` facade with
+  dynamic temperature/voltage recalculation;
+* :mod:`repro.power` — Wattch-style dynamic-energy accounting on a
+  CACTI-like array model;
+* :mod:`repro.cache` / :mod:`repro.cpu` — the simulation substrate: a
+  write-back cache hierarchy and a cycle-level 4-wide out-of-order core
+  (Alpha-21264-class, paper Table 2);
+* :mod:`repro.leakctl` — the paper's subject: the generic line-standby
+  abstraction with drowsy, gated-Vss and RBB techniques, noaccess/simple
+  decay policies, adaptive decay, and the net-savings energy accounting;
+* :mod:`repro.workloads` — synthetic SPECint2000 stand-ins;
+* :mod:`repro.experiments` — per-figure/table experiment drivers.
+
+Quickstart::
+
+    from repro import HotLeakage, figure_point, drowsy_technique
+
+    hot = HotLeakage("70nm", vdd=0.9, temp_c=110)
+    print(hot.unit_leakage())            # Equation-2 unit leakage (A)
+
+    result = figure_point("gcc", drowsy_technique(), l2_latency=11)
+    print(result.net_savings_pct, result.perf_loss_pct)
+"""
+
+from repro.cache import Cache, MemoryHierarchy
+from repro.cpu import MachineConfig, PAPER_L2_LATENCIES, PAPER_MACHINE, Pipeline
+from repro.experiments import (
+    clear_caches,
+    comparison_figure,
+    figure_3_4,
+    figure_5_6,
+    figure_7,
+    figure_8_9,
+    figure_10_11,
+    figure_12_13,
+    figure_point,
+    run_once,
+    table_1,
+    table_2,
+    table_3,
+)
+from repro.leakage import (
+    CacheGeometry,
+    HotLeakage,
+    L1D_GEOMETRY,
+    L1I_GEOMETRY,
+    L2_GEOMETRY,
+    unit_leakage,
+)
+from repro.leakctl import (
+    AdaptiveControlledCache,
+    ControlledCache,
+    DecayPolicy,
+    NetSavingsResult,
+    TechniqueConfig,
+    TechniqueKind,
+    drowsy_technique,
+    gated_vss_technique,
+    rbb_technique,
+)
+from repro.power import EnergyAccountant, default_power_config
+from repro.tech import TechnologyNode, get_node
+from repro.thermal import ThermalRC, ThermalRunawayError, leakage_thermal_equilibrium
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    TraceGenerator,
+    get_profile,
+    read_trace,
+    write_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # leakage model
+    "HotLeakage",
+    "unit_leakage",
+    "CacheGeometry",
+    "L1D_GEOMETRY",
+    "L1I_GEOMETRY",
+    "L2_GEOMETRY",
+    # technology
+    "TechnologyNode",
+    "get_node",
+    # machine & substrate
+    "MachineConfig",
+    "PAPER_MACHINE",
+    "PAPER_L2_LATENCIES",
+    "Pipeline",
+    "Cache",
+    "MemoryHierarchy",
+    # leakage control
+    "TechniqueConfig",
+    "TechniqueKind",
+    "DecayPolicy",
+    "drowsy_technique",
+    "gated_vss_technique",
+    "rbb_technique",
+    "ControlledCache",
+    "AdaptiveControlledCache",
+    "NetSavingsResult",
+    # power
+    "EnergyAccountant",
+    "default_power_config",
+    # workloads
+    "BENCHMARK_NAMES",
+    "TraceGenerator",
+    "get_profile",
+    "write_trace",
+    "read_trace",
+    # thermal extension
+    "ThermalRC",
+    "ThermalRunawayError",
+    "leakage_thermal_equilibrium",
+    # experiments
+    "run_once",
+    "figure_point",
+    "comparison_figure",
+    "figure_3_4",
+    "figure_5_6",
+    "figure_7",
+    "figure_8_9",
+    "figure_10_11",
+    "figure_12_13",
+    "table_1",
+    "table_2",
+    "table_3",
+    "clear_caches",
+]

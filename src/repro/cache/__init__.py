@@ -1,0 +1,15 @@
+"""Cache substrate: lines, set-associative caches, memory hierarchy."""
+
+from repro.cache.blocks import CacheLine, LineMode
+from repro.cache.cache import Cache, CacheStats, Victim
+from repro.cache.hierarchy import DataAccessResult, MemoryHierarchy
+
+__all__ = [
+    "CacheLine",
+    "LineMode",
+    "Cache",
+    "CacheStats",
+    "Victim",
+    "MemoryHierarchy",
+    "DataAccessResult",
+]

@@ -1,0 +1,44 @@
+"""Cache-line bookkeeping shared by the plain and leakage-controlled caches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class LineMode(IntEnum):
+    """Leakage state of a line (paper Section 2.3's generic abstraction).
+
+    ACTIVE lines leak at full power and can be read normally.
+    GOING_STANDBY lines are slewing to the low-leakage mode (Table 1's
+    "high leak to low" settling time); an access must wait out the settle
+    before the line can be woken.
+    STANDBY lines leak at the technique's residual; reading one costs the
+    technique-specific penalty (drowsy slow hit / gated induced miss).
+    """
+
+    ACTIVE = 0
+    GOING_STANDBY = 1
+    STANDBY = 2
+
+
+@dataclass(slots=True)
+class CacheLine:
+    """One way of one set.
+
+    Attributes:
+        tag: Stored tag (meaningless when ``valid`` is False).
+        valid: Whether the line holds data.  Gated-Vss deactivation clears
+            this (state lost); drowsy standby keeps it (state preserved).
+        dirty: Write-back dirty bit.
+        mode: Leakage mode (see :class:`LineMode`).
+        mode_ready_cycle: For GOING_STANDBY, the cycle the settle finishes.
+        decay_counter: The per-line 2-bit counter of the noaccess policy.
+    """
+
+    tag: int = 0
+    valid: bool = False
+    dirty: bool = False
+    mode: LineMode = LineMode.ACTIVE
+    mode_ready_cycle: int = 0
+    decay_counter: int = 0

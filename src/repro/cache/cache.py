@@ -1,0 +1,149 @@
+"""Set-associative write-back cache with true-LRU replacement.
+
+This is the mechanism layer: address slicing, tag match, LRU update, fill
+with victim selection.  It knows nothing about leakage control — the
+leakage-controlled L1 D-cache (:mod:`repro.leakctl.controlled`) composes
+these primitives with a decay policy and a technique model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.blocks import CacheLine, LineMode
+from repro.leakage.structures import CacheGeometry
+
+
+@dataclass(frozen=True)
+class Victim:
+    """An evicted line that may need writing back."""
+
+    addr: int
+    dirty: bool
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A plain set-associative, write-back, write-allocate cache.
+
+    LRU state is a per-set list of way indices ordered MRU-first.
+    """
+
+    def __init__(self, name: str, geometry: CacheGeometry) -> None:
+        self.name = name
+        self.geometry = geometry
+        self.lines: list[list[CacheLine]] = [
+            [CacheLine() for _ in range(geometry.assoc)]
+            for _ in range(geometry.n_sets)
+        ]
+        self.lru: list[list[int]] = [
+            list(range(geometry.assoc)) for _ in range(geometry.n_sets)
+        ]
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Address slicing
+    # ------------------------------------------------------------------
+
+    def slice_addr(self, addr: int) -> tuple[int, int]:
+        """Return ``(set_index, tag)`` for a byte address."""
+        g = self.geometry
+        line_addr = addr >> g.offset_bits
+        return line_addr & (g.n_sets - 1), line_addr >> g.index_bits
+
+    def line_addr_of(self, set_idx: int, tag: int) -> int:
+        """Reconstruct the byte address of a line from its set and tag."""
+        g = self.geometry
+        return ((tag << g.index_bits) | set_idx) << g.offset_bits
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+
+    def probe(self, addr: int) -> tuple[int, int, int | None]:
+        """Find a matching valid way without touching LRU or stats.
+
+        Returns ``(set_idx, tag, way_or_None)``.  Standby lines still match
+        here; interpreting a standby match is the controller's business.
+        """
+        set_idx, tag = self.slice_addr(addr)
+        for way, line in enumerate(self.lines[set_idx]):
+            if line.valid and line.tag == tag:
+                return set_idx, tag, way
+        return set_idx, tag, None
+
+    def touch(self, set_idx: int, way: int, *, is_write: bool = False) -> None:
+        """Promote a way to MRU, setting the dirty bit on writes."""
+        order = self.lru[set_idx]
+        order.remove(way)
+        order.insert(0, way)
+        if is_write:
+            self.lines[set_idx][way].dirty = True
+
+    def choose_victim(self, set_idx: int) -> int:
+        """Way that would be replaced next: an invalid way, else true LRU."""
+        for way in reversed(self.lru[set_idx]):
+            if not self.lines[set_idx][way].valid:
+                return way
+        return self.lru[set_idx][-1]
+
+    def fill(self, addr: int, *, is_write: bool = False) -> Victim | None:
+        """Install a line (write-allocate), returning any dirty victim."""
+        set_idx, tag = self.slice_addr(addr)
+        way = self.choose_victim(set_idx)
+        line = self.lines[set_idx][way]
+        victim = None
+        if line.valid and line.dirty:
+            victim = Victim(addr=self.line_addr_of(set_idx, line.tag), dirty=True)
+            self.stats.writebacks += 1
+        line.tag = tag
+        line.valid = True
+        line.dirty = is_write
+        line.mode = LineMode.ACTIVE
+        line.decay_counter = 0
+        self.touch(set_idx, way)
+        return victim
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop a line if present (no writeback).  Returns True if dropped."""
+        set_idx, _tag, way = self.probe(addr)
+        if way is None:
+            return False
+        self.lines[set_idx][way].valid = False
+        self.lines[set_idx][way].dirty = False
+        return True
+
+    # ------------------------------------------------------------------
+    # Whole-access convenience (used by the uncontrolled caches)
+    # ------------------------------------------------------------------
+
+    def access(self, addr: int, *, is_write: bool = False) -> tuple[bool, Victim | None]:
+        """Ordinary access: returns ``(hit, victim)`` and updates stats."""
+        self.stats.accesses += 1
+        set_idx, _tag, way = self.probe(addr)
+        if way is not None:
+            self.stats.hits += 1
+            self.touch(set_idx, way, is_write=is_write)
+            return True, None
+        self.stats.misses += 1
+        victim = self.fill(addr, is_write=is_write)
+        return False, victim
+
+    def valid_line_count(self) -> int:
+        """Number of valid lines (used by tests and occupancy metrics)."""
+        return sum(
+            1 for ways in self.lines for line in ways if line.valid
+        )

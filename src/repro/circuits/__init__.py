@@ -1,0 +1,40 @@
+"""Transistor-level netlists and the DC leakage solver.
+
+Stands in for the paper's Cadence / AIM-spice transistor-level simulations:
+k_design derivation enumerates cell input combinations through
+:class:`~repro.circuits.solver.LeakageSolver`, and the standby residual
+fractions used by the leakage-control models are solved from first
+principles here.
+"""
+
+from repro.circuits.netlist import GND_NODE, VDD_NODE, Netlist, Transistor
+from repro.circuits.solver import DCResult, LeakageSolver
+from repro.circuits.library import (
+    STANDARD_CELLS,
+    drowsy_residual_fraction,
+    drowsy_supply_voltage,
+    gated_residual_fraction,
+    inverter,
+    nand2,
+    nand3,
+    nor2,
+    sram6t_leakage,
+)
+
+__all__ = [
+    "Netlist",
+    "Transistor",
+    "VDD_NODE",
+    "GND_NODE",
+    "LeakageSolver",
+    "DCResult",
+    "STANDARD_CELLS",
+    "inverter",
+    "nand2",
+    "nand3",
+    "nor2",
+    "sram6t_leakage",
+    "drowsy_supply_voltage",
+    "drowsy_residual_fraction",
+    "gated_residual_fraction",
+]

@@ -1,0 +1,319 @@
+"""Command-line interface: regenerate the paper's artefacts from a shell.
+
+Usage (installed as the ``repro-paper`` console script, or via
+``python -m repro.cli``)::
+
+    repro-paper tables                 # Tables 1 and 2
+    repro-paper figure 3_4             # Figures 3/4 (110C, L2=5)
+    repro-paper figure 12_13           # best-interval study + Table 3
+    repro-paper run gcc gated-vss --l2 5 --temp 110
+    repro-paper sweep gzip drowsy      # decay-interval sweep
+
+Figure regeneration runs full simulations; expect seconds (``run``) to
+minutes (``figure 12_13``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.figures import (
+    figure_3_4,
+    figure_5_6,
+    figure_7,
+    figure_8_9,
+    figure_10_11,
+    figure_12_13,
+    table_1,
+    table_2,
+    table_3,
+)
+from repro.experiments.reporting import (
+    render_best_intervals,
+    render_comparison,
+    render_interval_table,
+    render_machine_table,
+    render_settling_table,
+    render_table,
+)
+from repro.experiments.runner import figure_point, technique_by_name
+from repro.experiments.sweeps import interval_sweep
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.profiles import BENCHMARK_NAMES
+from repro.workloads.tracefile import trace_length, write_trace
+
+_FIGURES = {
+    "3_4": figure_3_4,
+    "5_6": figure_5_6,
+    "7": figure_7,
+    "8_9": figure_8_9,
+    "10_11": figure_10_11,
+}
+
+
+def _cmd_tables(_args) -> int:
+    print(render_settling_table(table_1()))
+    print()
+    print(render_machine_table(table_2()))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.experiments.export import (
+        best_interval_figure_to_dict,
+        figure_to_dict,
+        save_json,
+    )
+
+    name = args.name
+    if name == "12_13":
+        fig = figure_12_13(n_ops=args.ops)
+        print(render_best_intervals(fig))
+        print()
+        print(render_interval_table(table_3(fig)))
+        if args.json:
+            save_json(best_interval_figure_to_dict(fig), args.json)
+            print(f"JSON written to {args.json}")
+        return 0
+    try:
+        builder = _FIGURES[name]
+    except KeyError:
+        known = ", ".join([*_FIGURES, "12_13"])
+        print(f"unknown figure {name!r}; known: {known}", file=sys.stderr)
+        return 2
+    fig = builder(n_ops=args.ops)
+    print(render_comparison(fig))
+    if args.json:
+        save_json(figure_to_dict(fig), args.json)
+        print(f"JSON written to {args.json}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    if args.benchmark not in BENCHMARK_NAMES:
+        print(
+            f"unknown benchmark {args.benchmark!r}; known: "
+            + ", ".join(BENCHMARK_NAMES),
+            file=sys.stderr,
+        )
+        return 2
+    technique = technique_by_name(args.technique)
+    result = figure_point(
+        args.benchmark,
+        technique,
+        l2_latency=args.l2,
+        temp_c=args.temp,
+        decay_interval=args.interval,
+        adaptive=args.adaptive,
+        n_ops=args.ops,
+        target=args.target,
+        engine=args.engine,
+    )
+    rows = [
+        ["net savings", f"{result.net_savings_pct:.2f} %"],
+        ["gross savings", f"{result.gross_savings_pct:.2f} %"],
+        ["performance loss", f"{result.perf_loss_pct:.2f} %"],
+        ["turnoff ratio", f"{result.turnoff_ratio:.3f}"],
+        ["induced misses", str(result.induced_misses)],
+        ["slow hits", str(result.slow_hits)],
+        ["true misses", str(result.true_misses)],
+        ["baseline cycles", str(result.baseline_cycles)],
+        ["technique cycles", str(result.technique_cycles)],
+    ]
+    title = (
+        f"{args.benchmark} / {technique.name} on {args.target} @ L2={args.l2}, "
+        f"{args.temp:g} C, interval={args.interval}"
+    )
+    print(title)
+    print(render_table(["metric", "value"], rows))
+    if args.power:
+        from repro.experiments.runner import run_once
+        from repro.cpu.config import MachineConfig
+
+        out = run_once(
+            args.benchmark,
+            technique=technique,
+            machine=MachineConfig().with_l2_latency(args.l2),
+            decay_interval=args.interval,
+            adaptive=args.adaptive,
+            n_ops=args.ops,
+            target=args.target,
+        )
+        report = out.accountant.power_report()
+        print()
+        print("dynamic power breakdown (W):")
+        print(
+            render_table(
+                ["structure", "watts"],
+                [[k, f"{v:8.3f}"] for k, v in report.items()],
+            )
+        )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    technique = technique_by_name(args.technique)
+    results = interval_sweep(
+        args.benchmark,
+        technique,
+        l2_latency=args.l2,
+        temp_c=args.temp,
+        n_ops=args.ops,
+    )
+    rows = [
+        [
+            str(r.decay_interval),
+            f"{r.net_savings_pct:7.2f}",
+            f"{r.perf_loss_pct:6.2f}",
+            f"{r.turnoff_ratio:5.3f}",
+            str(r.induced_misses),
+            str(r.slow_hits),
+        ]
+        for r in results
+    ]
+    print(f"decay-interval sweep: {args.benchmark} / {technique.name}")
+    print(
+        render_table(
+            ["interval", "net sav %", "loss %", "turnoff", "induced", "slow"],
+            rows,
+        )
+    )
+    best = max(results, key=lambda r: r.net_savings_pct)
+    print(f"best interval: {best.decay_interval} ({best.net_savings_pct:.2f} %)")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.experiments.validate import (
+        ValidationError,
+        render_validation,
+        validate_campaign,
+    )
+
+    try:
+        claims = validate_campaign(args.results)
+    except ValidationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(render_validation(claims))
+    return 0 if all(c.passed for c in claims) else 1
+
+
+def _cmd_gen_trace(args) -> int:
+    if args.benchmark not in BENCHMARK_NAMES:
+        print(
+            f"unknown benchmark {args.benchmark!r}; known: "
+            + ", ".join(BENCHMARK_NAMES),
+            file=sys.stderr,
+        )
+        return 2
+    ops = TraceGenerator(args.benchmark, seed=args.seed).ops(args.ops)
+    count = write_trace(args.path, ops)
+    print(f"wrote {count} micro-ops to {args.path} "
+          f"({trace_length(args.path)} per header)")
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.experiments.campaign import run_campaign
+
+    benchmarks = tuple(args.benchmarks.split(",")) if args.benchmarks else None
+    result = run_campaign(
+        args.out, quick=args.quick, benchmarks=benchmarks, progress=print
+    )
+    print()
+    print(result.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-paper",
+        description="Regenerate artefacts from the DATE 2004 leakage-control paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables 1 and 2").set_defaults(
+        func=_cmd_tables
+    )
+
+    fig = sub.add_parser("figure", help="regenerate a figure pair")
+    fig.add_argument("name", help="3_4, 5_6, 7, 8_9, 10_11 or 12_13")
+    fig.add_argument("--ops", type=int, default=20_000, help="micro-ops per run")
+    fig.add_argument("--json", help="also write the figure data as JSON")
+    fig.set_defaults(func=_cmd_figure)
+
+    run = sub.add_parser("run", help="one benchmark under one technique")
+    run.add_argument("benchmark")
+    run.add_argument("technique", help="drowsy, gated-vss or rbb")
+    run.add_argument("--l2", type=int, default=11, help="L2 latency (cycles)")
+    run.add_argument("--temp", type=float, default=110.0, help="temperature (C)")
+    run.add_argument("--interval", type=int, default=4096, help="decay interval")
+    run.add_argument("--adaptive", action="store_true", help="online adaptation")
+    run.add_argument(
+        "--target",
+        choices=("l1d", "l1i", "l2"),
+        default="l1d",
+        help="which cache the technique controls (extension: l1i / l2)",
+    )
+    run.add_argument(
+        "--power", action="store_true",
+        help="also print the Wattch-style dynamic power breakdown",
+    )
+    run.add_argument(
+        "--engine", choices=("ooo", "fast"), default="ooo",
+        help="timing model: cycle-level out-of-order or fast analytical",
+    )
+    run.add_argument("--ops", type=int, default=20_000)
+    run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser("sweep", help="decay-interval sweep")
+    sweep.add_argument("benchmark")
+    sweep.add_argument("technique")
+    sweep.add_argument("--l2", type=int, default=11)
+    sweep.add_argument("--temp", type=float, default=85.0)
+    sweep.add_argument("--ops", type=int, default=20_000)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    rep = sub.add_parser(
+        "reproduce", help="regenerate every paper artefact into a directory"
+    )
+    rep.add_argument("--out", default="results", help="output directory")
+    rep.add_argument(
+        "--quick", action="store_true",
+        help="small runs (fast smoke pass; verdicts may wobble)",
+    )
+    rep.add_argument(
+        "--benchmarks",
+        help="comma-separated benchmark subset (default: all 11)",
+    )
+    rep.set_defaults(func=_cmd_reproduce)
+
+    val = sub.add_parser(
+        "validate", help="grade a reproduce output directory against the paper"
+    )
+    val.add_argument("results", help="directory written by 'reproduce'")
+    val.set_defaults(func=_cmd_validate)
+
+    gen = sub.add_parser("gen-trace", help="write a synthetic trace to a file")
+    gen.add_argument("benchmark")
+    gen.add_argument("path")
+    gen.add_argument("--ops", type=int, default=50_000)
+    gen.add_argument("--seed", type=int, default=1)
+    gen.set_defaults(func=_cmd_gen_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

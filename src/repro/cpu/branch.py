@@ -1,0 +1,149 @@
+"""Branch prediction: the paper's hybrid predictor and BTB (Table 2).
+
+Hybrid of a 4K-entry bimodal table and a 4K-entry GAg (12 bits of global
+history indexing 2-bit counters), selected by a 4K-entry bimod-style
+chooser.  The BTB is 1K entries, 2-way set associative, looked up in
+parallel with the I-cache; a taken branch that misses in the BTB costs a
+redirect even if the direction was predicted correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _saturate_up(counter: int, maximum: int = 3) -> int:
+    return counter + 1 if counter < maximum else counter
+
+
+def _saturate_down(counter: int) -> int:
+    return counter - 1 if counter > 0 else counter
+
+
+@dataclass
+class PredictorStats:
+    lookups: int = 0
+    direction_mispredicts: int = 0
+    btb_misses: int = 0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.direction_mispredicts / self.lookups if self.lookups else 0.0
+
+
+class HybridPredictor:
+    """Bimod + GAg with a bimod-style chooser (paper Table 2)."""
+
+    def __init__(
+        self,
+        *,
+        bimod_entries: int = 4096,
+        gag_history_bits: int = 12,
+        gag_entries: int = 4096,
+        chooser_entries: int = 4096,
+    ) -> None:
+        for name, n in (
+            ("bimod_entries", bimod_entries),
+            ("gag_entries", gag_entries),
+            ("chooser_entries", chooser_entries),
+        ):
+            if n <= 0 or n & (n - 1):
+                raise ValueError(f"{name} must be a power of two, got {n}")
+        self.bimod = [2] * bimod_entries  # weakly taken
+        self.gag = [2] * gag_entries
+        self.chooser = [2] * chooser_entries  # >=2 selects GAg
+        self.history_mask = (1 << gag_history_bits) - 1
+        self.history = 0
+        self.stats = PredictorStats()
+
+    def _indices(self, pc: int) -> tuple[int, int, int]:
+        word = pc >> 2
+        # GAg indexes its table purely by global history (no PC bits).
+        return (
+            word & (len(self.bimod) - 1),
+            self.history & (len(self.gag) - 1),
+            word & (len(self.chooser) - 1),
+        )
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc`` (no state change)."""
+        bi, gi, ci = self._indices(pc)
+        use_gag = self.chooser[ci] >= 2
+        counter = self.gag[gi] if use_gag else self.bimod[bi]
+        return counter >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Record the outcome; returns True if the prediction was correct.
+
+        Updates both components, trains the chooser toward whichever
+        component was right, and shifts the global history (as SimpleScalar
+        does, with the actual outcome).
+        """
+        self.stats.lookups += 1
+        bi, gi, ci = self._indices(pc)
+        bimod_pred = self.bimod[bi] >= 2
+        gag_pred = self.gag[gi] >= 2
+        use_gag = self.chooser[ci] >= 2
+        predicted = gag_pred if use_gag else bimod_pred
+
+        if bimod_pred != gag_pred:
+            if gag_pred == taken:
+                self.chooser[ci] = _saturate_up(self.chooser[ci])
+            else:
+                self.chooser[ci] = _saturate_down(self.chooser[ci])
+        if taken:
+            self.bimod[bi] = _saturate_up(self.bimod[bi])
+            self.gag[gi] = _saturate_up(self.gag[gi])
+        else:
+            self.bimod[bi] = _saturate_down(self.bimod[bi])
+            self.gag[gi] = _saturate_down(self.gag[gi])
+
+        self.history = ((self.history << 1) | int(taken)) & self.history_mask
+        correct = predicted == taken
+        if not correct:
+            self.stats.direction_mispredicts += 1
+        return correct
+
+
+class BranchTargetBuffer:
+    """N-entry, set-associative BTB with LRU replacement."""
+
+    def __init__(self, *, entries: int = 1024, assoc: int = 2) -> None:
+        if entries % assoc:
+            raise ValueError(f"entries {entries} not divisible by assoc {assoc}")
+        self.n_sets = entries // assoc
+        if self.n_sets & (self.n_sets - 1):
+            raise ValueError(f"BTB set count must be a power of two: {self.n_sets}")
+        self.assoc = assoc
+        self.tags: list[list[int | None]] = [
+            [None] * assoc for _ in range(self.n_sets)
+        ]
+        self.targets: list[list[int]] = [[0] * assoc for _ in range(self.n_sets)]
+        self.lru: list[list[int]] = [list(range(assoc)) for _ in range(self.n_sets)]
+
+    def _slice(self, pc: int) -> tuple[int, int]:
+        word = pc >> 2
+        return word & (self.n_sets - 1), word >> (self.n_sets.bit_length() - 1)
+
+    def lookup(self, pc: int) -> int | None:
+        """Predicted target for ``pc``, or None on a BTB miss."""
+        set_idx, tag = self._slice(pc)
+        for way in range(self.assoc):
+            if self.tags[set_idx][way] == tag:
+                self.lru[set_idx].remove(way)
+                self.lru[set_idx].insert(0, way)
+                return self.targets[set_idx][way]
+        return None
+
+    def install(self, pc: int, target: int) -> None:
+        """Record a taken branch's target."""
+        set_idx, tag = self._slice(pc)
+        for way in range(self.assoc):
+            if self.tags[set_idx][way] == tag:
+                self.targets[set_idx][way] = target
+                return
+        victim = self.lru[set_idx][-1]
+        self.tags[set_idx][victim] = tag
+        self.targets[set_idx][victim] = target
+        self.lru[set_idx].remove(victim)
+        self.lru[set_idx].insert(0, victim)

@@ -1,0 +1,81 @@
+"""Machine configuration (paper Table 2): an Alpha 21264-class core.
+
+The paper's baseline: 80-entry RUU, 40-entry LSQ, 4-wide issue,
+4 IntALU / 1 IntMult-Div / 2 FPALU / 1 FPMult-Div / 2 memory ports,
+64 KB 2-way L1 caches with 64 B lines (I: 1 cycle, D: 2 cycles),
+a unified 2 MB 2-way L2 whose latency is the experiment's sweep variable
+(5 / 8 / 11 / 17 cycles; Table 2's default is 11), 100-cycle memory,
+hybrid branch prediction (4K bimod + 4K 12-bit GAg + 4K chooser) and a
+1K-entry 2-way BTB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.leakage.structures import (
+    CacheGeometry,
+    L1D_GEOMETRY,
+    L1I_GEOMETRY,
+    L2_GEOMETRY,
+)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Timing and capacity parameters of the simulated machine."""
+
+    # Processor core (Table 2).
+    ruu_size: int = 80
+    lsq_size: int = 40
+    fetch_width: int = 4
+    issue_width: int = 4
+    commit_width: int = 4
+    n_int_alu: int = 4
+    n_int_mult: int = 1
+    n_fp_alu: int = 2
+    n_fp_mult: int = 1
+    n_mem_ports: int = 2
+
+    # Operation latencies (cycles).
+    lat_int_alu: int = 1
+    lat_int_mult: int = 3
+    lat_int_div: int = 20
+    lat_fp_alu: int = 2
+    lat_fp_mult: int = 4
+    lat_fp_div: int = 12
+
+    # Memory hierarchy (Table 2).
+    l1i_geometry: CacheGeometry = L1I_GEOMETRY
+    l1d_geometry: CacheGeometry = L1D_GEOMETRY
+    l2_geometry: CacheGeometry = L2_GEOMETRY
+    l1i_latency: int = 1
+    l1d_latency: int = 2
+    l2_latency: int = 11
+    mem_latency: int = 100
+    # Outstanding-miss limit (MSHRs).  The paper's Table 2 does not list
+    # one, so the default is unlimited (None); set a small integer to cap
+    # memory-level parallelism.
+    mshr_entries: int | None = None
+
+    # Branch prediction (Table 2).
+    bimod_entries: int = 4096
+    gag_history_bits: int = 12
+    gag_entries: int = 4096
+    chooser_entries: int = 4096
+    btb_entries: int = 1024
+    btb_assoc: int = 2
+    mispredict_penalty: int = 3  # front-end redirect after resolution
+
+    def with_l2_latency(self, latency: int) -> "MachineConfig":
+        """The paper's sweep knob: same machine, different L2 latency."""
+        if latency < 1:
+            raise ValueError(f"L2 latency must be >= 1, got {latency}")
+        return replace(self, l2_latency=latency)
+
+
+PAPER_MACHINE = MachineConfig()
+"""Table 2's configuration with the default 11-cycle L2."""
+
+PAPER_L2_LATENCIES = (5, 8, 11, 17)
+"""The four L2 latencies of Section 5.1."""

@@ -1,0 +1,60 @@
+"""Micro-op trace format consumed by the out-of-order core.
+
+The paper's simulator is trace/execution-driven SimpleScalar running Alpha
+binaries; our substitution feeds the same pipeline model with synthetic
+micro-op traces (see :mod:`repro.workloads`).  A micro-op carries exactly
+what the timing model needs: operation class, register dependences, an
+effective address for memory ops, and the actual branch outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+N_INT_REGS = 32
+N_FP_REGS = 32
+N_REGS = N_INT_REGS + N_FP_REGS
+
+
+class OpClass(IntEnum):
+    """Functional classes, mapping onto Table 2's functional units."""
+
+    IALU = 0
+    IMUL = 1
+    IDIV = 2
+    FPALU = 3
+    FPMUL = 4
+    FPDIV = 5
+    LOAD = 6
+    STORE = 7
+    BRANCH = 8
+
+
+MEM_OPS = frozenset({OpClass.LOAD, OpClass.STORE})
+FP_OPS = frozenset({OpClass.FPALU, OpClass.FPMUL, OpClass.FPDIV})
+
+
+@dataclass(slots=True)
+class MicroOp:
+    """One instruction as seen by the pipeline.
+
+    Attributes:
+        pc: Instruction address (drives I-cache and branch prediction).
+        op: Functional class.
+        dest: Destination register (-1 if none).
+        src1: First source register (-1 if none).
+        src2: Second source register (-1 if none).
+        addr: Effective byte address for LOAD/STORE.
+        taken: Actual direction for BRANCH.
+        target: Actual target address for taken BRANCH.
+    """
+
+    pc: int
+    op: OpClass
+    dest: int = -1
+    src1: int = -1
+    src2: int = -1
+    addr: int = 0
+    taken: bool = False
+    target: int = 0

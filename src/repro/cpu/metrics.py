@@ -1,0 +1,33 @@
+"""Run-level results collected from one simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunStats:
+    """Timing and event statistics for one pipeline run.
+
+    Cache- and leakage-specific statistics live on the respective
+    components; this bundles the core-level numbers plus convenient
+    references captured at the end of a run.
+    """
+
+    cycles: int = 0
+    committed: int = 0
+    fetched: int = 0
+    issued: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    direction_mispredicts: int = 0
+    btb_misses: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.direction_mispredicts / self.branches if self.branches else 0.0

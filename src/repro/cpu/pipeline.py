@@ -1,0 +1,379 @@
+"""Cycle-level out-of-order core (the SimpleScalar/Wattch stand-in).
+
+A trace-driven model of the paper's Alpha-21264-class machine (Table 2):
+
+* 4-wide fetch with I-cache timing, hybrid branch prediction and a BTB;
+  a direction mispredict blocks fetch until the branch resolves, plus a
+  redirect penalty — so mispredict cost shrinks when the branch resolves
+  early, exactly the ILP effect the paper leans on;
+* 4-wide dispatch into an 80-entry RUU / 40-entry LSQ with register
+  renaming via last-writer tracking (no WAW/WAR stalls);
+* dependence-driven issue, oldest-first, constrained by the Table-2
+  functional-unit pool (2 memory ports, non-pipelined dividers);
+* loads access the D-cache at issue and complete after the hierarchy's
+  latency — multiple outstanding misses overlap, so an out-of-order
+  window can hide a good part of an induced miss's L2 latency;
+* stores write the D-cache at commit through a write buffer (no stall);
+* 4-wide in-order commit.
+
+Wrong-path work is not simulated (trace-driven); its first-order timing
+effect — the fetch hole until resolution plus redirect — is.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # avoid a circular import with repro.cache.hierarchy
+    from repro.cache.hierarchy import MemoryHierarchy
+
+from repro.cpu.branch import BranchTargetBuffer, HybridPredictor
+from repro.cpu.config import MachineConfig
+from repro.cpu.isa import MEM_OPS, MicroOp, OpClass
+from repro.cpu.metrics import RunStats
+from repro.power.wattch import EnergyAccountant
+
+_FETCH_QUEUE_DEPTH = 16
+_MAX_CYCLES_PER_OP = 600  # runaway guard for the main loop
+
+
+@dataclass(slots=True)
+class _Entry:
+    """One RUU entry."""
+
+    seq: int
+    op: MicroOp
+    n_wait: int = 0
+    consumers: list = field(default_factory=list)
+    issued: bool = False
+    done: bool = False
+    completion: int = 0
+    blocks_fetch: bool = False
+    holds_mshr: bool = False
+
+
+class _FuPool:
+    """Per-cycle functional-unit arbitration (Table 2 pool)."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.reset()
+        self.imul_busy_until = 0
+        self.fpmul_busy_until = 0
+
+    def reset(self) -> None:
+        self.ialu = 0
+        self.imul = 0
+        self.fpalu = 0
+        self.fpmul = 0
+        self.mem = 0
+
+    def acquire(self, op: OpClass, cycle: int) -> int | None:
+        """Try to claim a unit; returns the op latency or None if busy."""
+        cfg = self.config
+        if op in (OpClass.IALU, OpClass.BRANCH):
+            if self.ialu >= cfg.n_int_alu:
+                return None
+            self.ialu += 1
+            return cfg.lat_int_alu
+        if op is OpClass.IMUL or op is OpClass.IDIV:
+            if self.imul >= cfg.n_int_mult or cycle < self.imul_busy_until:
+                return None
+            self.imul += 1
+            if op is OpClass.IDIV:
+                self.imul_busy_until = cycle + cfg.lat_int_div  # non-pipelined
+                return cfg.lat_int_div
+            return cfg.lat_int_mult
+        if op is OpClass.FPALU:
+            if self.fpalu >= cfg.n_fp_alu:
+                return None
+            self.fpalu += 1
+            return cfg.lat_fp_alu
+        if op is OpClass.FPMUL or op is OpClass.FPDIV:
+            if self.fpmul >= cfg.n_fp_mult or cycle < self.fpmul_busy_until:
+                return None
+            self.fpmul += 1
+            if op is OpClass.FPDIV:
+                self.fpmul_busy_until = cycle + cfg.lat_fp_div
+                return cfg.lat_fp_div
+            return cfg.lat_fp_mult
+        if op in MEM_OPS:
+            if self.mem >= cfg.n_mem_ports:
+                return None
+            self.mem += 1
+            return 1  # address generation; loads add cache latency
+        raise ValueError(f"unknown op class {op}")
+
+
+class Pipeline:
+    """The out-of-order core.  Drive with :meth:`run`."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        hierarchy: MemoryHierarchy,
+        accountant: EnergyAccountant,
+        *,
+        predictor: HybridPredictor | None = None,
+        btb: BranchTargetBuffer | None = None,
+    ) -> None:
+        self.config = config
+        self.hierarchy = hierarchy
+        self.accountant = accountant
+        self.predictor = predictor or HybridPredictor(
+            bimod_entries=config.bimod_entries,
+            gag_history_bits=config.gag_history_bits,
+            gag_entries=config.gag_entries,
+            chooser_entries=config.chooser_entries,
+        )
+        self.btb = btb or BranchTargetBuffer(
+            entries=config.btb_entries, assoc=config.btb_assoc
+        )
+        self.stats = RunStats()
+
+    # ------------------------------------------------------------------
+
+    def run(self, trace: Iterable[MicroOp], *, max_cycles: int | None = None) -> RunStats:
+        """Simulate the trace to completion; returns the run statistics."""
+        cfg = self.config
+        source: Iterator[MicroOp] = iter(trace)
+        ruu: deque[_Entry] = deque()
+        lsq_count = 0
+        last_writer: dict[int, _Entry] = {}
+        ready: list[tuple[int, _Entry]] = []
+        completions: list[tuple[int, int, _Entry]] = []
+        # Each fetched op carries whether it is a mispredicted branch that
+        # must gate fetch until it resolves.
+        fetch_queue: deque[tuple[MicroOp, bool]] = deque()
+        fus = _FuPool(cfg)
+
+        cycle = 0
+        seq = 0
+        outstanding_misses = 0
+        fetch_stall_until = 0
+        fetch_blockers = 0  # unresolved mispredicted branches gate fetch
+        cur_fetch_line = -1
+        trace_done = False
+        pending_op: MicroOp | None = None  # op waiting on its I-cache fill
+        line_shift = cfg.l1i_geometry.offset_bits
+
+        stats = self.stats
+
+        while True:
+            if not trace_done or fetch_queue or ruu or completions:
+                pass
+            else:
+                break
+            if max_cycles is not None and cycle > max_cycles:
+                break
+            if cycle > _MAX_CYCLES_PER_OP * max(stats.fetched, 1) + 10_000:
+                raise RuntimeError(
+                    f"pipeline wedged at cycle {cycle} "
+                    f"(fetched={stats.fetched}, committed={stats.committed})"
+                )
+
+            # ---- 1. completions -------------------------------------
+            while completions and completions[0][0] <= cycle:
+                _, _, entry = heapq.heappop(completions)
+                entry.done = True
+                if entry.holds_mshr:
+                    outstanding_misses -= 1
+                if entry.blocks_fetch:
+                    fetch_blockers -= 1
+                    fetch_stall_until = max(
+                        fetch_stall_until, cycle + cfg.mispredict_penalty
+                    )
+                for consumer in entry.consumers:
+                    consumer.n_wait -= 1
+                    if consumer.n_wait == 0 and not consumer.issued:
+                        heapq.heappush(ready, (consumer.seq, consumer))
+                entry.consumers.clear()
+
+            # ---- 2. commit ------------------------------------------
+            committed_now = 0
+            while ruu and committed_now < cfg.commit_width and ruu[0].done:
+                entry = ruu.popleft()
+                op = entry.op
+                if op.op in MEM_OPS:
+                    lsq_count -= 1
+                if op.op is OpClass.STORE:
+                    # Write-back through the write buffer: energy and cache
+                    # state change now, no commit stall.
+                    self.hierarchy.data_access(op.addr, is_write=True, cycle=cycle)
+                    stats.stores += 1
+                if op.dest >= 0:
+                    self.accountant.add("regfile_write")
+                if last_writer.get(op.dest) is entry:
+                    del last_writer[op.dest]
+                self.accountant.add("window_commit")
+                stats.committed += 1
+                committed_now += 1
+
+            # ---- 3. issue -------------------------------------------
+            fus.reset()
+            issued_now = 0
+            deferred: list[tuple[int, _Entry]] = []
+            while ready and issued_now < cfg.issue_width:
+                seq_key, entry = heapq.heappop(ready)
+                latency = fus.acquire(entry.op.op, cycle)
+                if latency is None:
+                    deferred.append((seq_key, entry))
+                    continue
+                entry.issued = True
+                issued_now += 1
+                op = entry.op
+                if op.op is OpClass.LOAD:
+                    if (
+                        cfg.mshr_entries is not None
+                        and outstanding_misses >= cfg.mshr_entries
+                    ):
+                        # All miss-status registers busy: a load cannot
+                        # even probe (conservative MSHR model).
+                        entry.issued = False
+                        issued_now -= 1
+                        deferred.append((seq_key, entry))
+                        continue
+                    self.accountant.add("lsq")
+                    result = self.hierarchy.data_access(
+                        op.addr, is_write=False, cycle=cycle
+                    )
+                    latency = result.latency
+                    if not result.l1_hit:
+                        outstanding_misses += 1
+                        entry.holds_mshr = True
+                    stats.loads += 1
+                elif op.op is OpClass.STORE:
+                    self.accountant.add("lsq")
+                elif op.op in (OpClass.FPALU,):
+                    self.accountant.add("fpalu")
+                elif op.op in (OpClass.FPMUL, OpClass.FPDIV):
+                    self.accountant.add("fpmul")
+                elif op.op in (OpClass.IMUL, OpClass.IDIV):
+                    self.accountant.add("imul")
+                else:
+                    self.accountant.add("alu")
+                if op.src1 >= 0:
+                    self.accountant.add("regfile_read")
+                if op.src2 >= 0:
+                    self.accountant.add("regfile_read")
+                self.accountant.add("window_issue")
+                entry.completion = cycle + latency
+                heapq.heappush(completions, (entry.completion, entry.seq, entry))
+            for item in deferred:
+                heapq.heappush(ready, item)
+            stats.issued += issued_now
+
+            # ---- 4. dispatch ----------------------------------------
+            dispatched = 0
+            while (
+                fetch_queue
+                and dispatched < cfg.fetch_width
+                and len(ruu) < cfg.ruu_size
+            ):
+                op, mispredicted = fetch_queue[0]
+                is_mem = op.op in MEM_OPS
+                if is_mem and lsq_count >= cfg.lsq_size:
+                    break
+                fetch_queue.popleft()
+                entry = _Entry(seq=seq, op=op)
+                seq += 1
+                for src in (op.src1, op.src2):
+                    if src >= 0:
+                        producer = last_writer.get(src)
+                        if producer is not None and not producer.done:
+                            producer.consumers.append(entry)
+                            entry.n_wait += 1
+                if op.dest >= 0:
+                    last_writer[op.dest] = entry
+                entry.blocks_fetch = mispredicted
+                ruu.append(entry)
+                if is_mem:
+                    lsq_count += 1
+                if entry.n_wait == 0:
+                    heapq.heappush(ready, (entry.seq, entry))
+                self.accountant.add("window_dispatch")
+                dispatched += 1
+
+            # ---- 5. fetch -------------------------------------------
+            if (
+                not trace_done
+                and cycle >= fetch_stall_until
+                and fetch_blockers == 0
+                and len(fetch_queue) < _FETCH_QUEUE_DEPTH
+            ):
+                fetched_now = 0
+                while fetched_now < cfg.fetch_width and len(fetch_queue) < _FETCH_QUEUE_DEPTH:
+                    if pending_op is not None:
+                        op, pending_op = pending_op, None
+                    else:
+                        op = self._next_op(source)
+                    if op is None:
+                        trace_done = True
+                        break
+                    line = op.pc >> line_shift
+                    if line != cur_fetch_line:
+                        latency = self.hierarchy.inst_fetch(op.pc, cycle)
+                        cur_fetch_line = line
+                        if latency > cfg.l1i_latency:
+                            # I-cache miss: nothing from this line decodes
+                            # until the fill returns; hold the op back.
+                            fetch_stall_until = cycle + latency
+                            pending_op = op
+                            break
+                    stop_fetch = False
+                    mispredicted = False
+                    if op.op is OpClass.BRANCH:
+                        stop_fetch, mispredicted = self._handle_branch(op)
+                        if mispredicted:
+                            fetch_blockers += 1
+                    fetch_queue.append((op, mispredicted))
+                    stats.fetched += 1
+                    fetched_now += 1
+                    if stop_fetch:
+                        break
+
+            # ---- 6. end of cycle ------------------------------------
+            self.accountant.add_cycle(issued=issued_now)
+            cycle += 1
+
+        stats.cycles = cycle
+        stats.direction_mispredicts = self.predictor.stats.direction_mispredicts
+        stats.btb_misses = self.predictor.stats.btb_misses
+        self.hierarchy.finalize(cycle)
+        return stats
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _next_op(source: Iterator[MicroOp]) -> MicroOp | None:
+        try:
+            return next(source)
+        except StopIteration:
+            return None
+
+    def _handle_branch(self, op: MicroOp) -> tuple[bool, bool]:
+        """Predict and update tables.  Returns ``(stop_fetch, mispredicted)``.
+
+        A direction mispredict gates fetch until the branch's RUU entry
+        resolves (plus the redirect penalty).  A correctly-predicted taken
+        branch still ends the fetch group (redirect), and a BTB miss on a
+        taken branch is counted (its decode-redirect bubble is folded into
+        the end-of-group effect).
+        """
+        self.stats.branches += 1
+        self.accountant.add("bpred")
+        self.accountant.add("btb")
+        correct = self.predictor.update(op.pc, op.taken)
+        btb_target = self.btb.lookup(op.pc)
+        if op.taken:
+            self.btb.install(op.pc, op.target)
+        if not correct:
+            return True, True
+        if op.taken:
+            if btb_target != op.target:
+                self.predictor.stats.btb_misses += 1
+            return True, False
+        return False, False

@@ -1,0 +1,138 @@
+"""The full reproduction campaign: every artefact, one call.
+
+``run_campaign(out_dir)`` regenerates the paper's Tables 1-3 and Figures
+1/3-13, writes each as both a rendered text table and JSON, and returns a
+summary. This is the programmatic equivalent of running the whole
+benchmark harness, exposed so a user can reproduce the paper with::
+
+    repro-paper reproduce --out results/
+
+or::
+
+    from repro.experiments.campaign import run_campaign
+    run_campaign("results/")
+
+Figures 3-11 take ~30-90 s each and the Figure-12/13 sweep several
+minutes; pass ``quick=True`` to shrink the runs for a smoke-level pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.experiments.export import (
+    best_interval_figure_to_dict,
+    figure_to_dict,
+    save_json,
+)
+from repro.experiments.figures import (
+    figure_3_4,
+    figure_5_6,
+    figure_7,
+    figure_8_9,
+    figure_10_11,
+    figure_12_13,
+    table_1,
+    table_2,
+    table_3,
+)
+from repro.experiments.reporting import (
+    render_best_intervals,
+    render_comparison,
+    render_interval_table,
+    render_machine_table,
+    render_settling_table,
+)
+
+QUICK_N_OPS = 4000
+FULL_N_OPS = 20_000
+
+
+@dataclass
+class CampaignResult:
+    """What the campaign produced and where."""
+
+    out_dir: Path
+    artefacts: dict[str, Path] = field(default_factory=dict)
+    verdicts: dict[str, str] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        lines = [f"reproduction campaign -> {self.out_dir}"]
+        for name in sorted(self.artefacts):
+            lines.append(f"  {name}: {self.artefacts[name].name}")
+        for name, verdict in self.verdicts.items():
+            lines.append(f"  verdict[{name}]: {verdict}")
+        return "\n".join(lines)
+
+
+def run_campaign(
+    out_dir: str | Path,
+    *,
+    quick: bool = False,
+    benchmarks: tuple[str, ...] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignResult:
+    """Regenerate every paper artefact into ``out_dir``.
+
+    Args:
+        out_dir: Directory for the text/JSON artefacts (created if needed).
+        quick: Use small runs (smoke level; verdicts may wobble).
+        benchmarks: Optional benchmark subset (defaults to all 11).
+        progress: Optional callback receiving one line per artefact.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    n_ops = QUICK_N_OPS if quick else FULL_N_OPS
+    extra = {} if benchmarks is None else {"benchmarks": benchmarks}
+    result = CampaignResult(out_dir=out)
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    def emit(name: str, text: str, payload: dict | None = None) -> None:
+        path = out / f"{name}.txt"
+        path.write_text(text + "\n")
+        result.artefacts[name] = path
+        if payload is not None:
+            save_json(payload, out / f"{name}.json")
+        note(f"wrote {name}")
+
+    emit("tab1_settling", render_settling_table(table_1()))
+    emit("tab2_machine", render_machine_table(table_2()))
+
+    figure_builders = [
+        ("fig03_04_l2_5", figure_3_4),
+        ("fig05_06_l2_8", figure_5_6),
+        ("fig07_l2_11_85c", figure_7),
+        ("fig08_09_l2_11_110c", figure_8_9),
+        ("fig10_11_l2_17", figure_10_11),
+    ]
+    for name, builder in figure_builders:
+        note(f"running {name} ...")
+        fig = builder(n_ops=n_ops, **extra)
+        emit(name, render_comparison(fig), figure_to_dict(fig))
+        winner = (
+            "gated-vss"
+            if fig.avg_gated_savings > fig.avg_drowsy_savings
+            else "drowsy"
+        )
+        result.verdicts[name] = (
+            f"{winner} (drowsy {fig.avg_drowsy_savings:.1f} % vs "
+            f"gated {fig.avg_gated_savings:.1f} %, gated wins "
+            f"{fig.gated_win_count}/{len(fig.rows)})"
+        )
+
+    note("running fig12_13 interval sweep (the long one) ...")
+    best = figure_12_13(n_ops=n_ops, **extra)
+    emit(
+        "fig12_13_best_interval",
+        render_best_intervals(best),
+        best_interval_figure_to_dict(best),
+    )
+    emit("tab3_best_intervals", render_interval_table(table_3(best)))
+
+    (out / "SUMMARY.txt").write_text(result.summary() + "\n")
+    return result

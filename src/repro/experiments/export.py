@@ -1,0 +1,115 @@
+"""Machine-readable export of experiment results (JSON).
+
+Every figure and run can be serialised for downstream analysis or
+plotting outside this package.  The schema is flat and stable:
+
+* a net-savings result -> one dict of scalars;
+* a comparison figure -> metadata + one entry per benchmark per
+  technique + the averages;
+* the best-interval figure additionally carries the Table-3 map.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.figures import BestIntervalFigure, ComparisonFigure
+from repro.leakctl.energy import NetSavingsResult
+
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: NetSavingsResult) -> dict[str, Any]:
+    """Flatten one figure point into JSON-ready scalars."""
+    return {
+        "benchmark": result.benchmark,
+        "technique": result.technique,
+        "decay_interval": result.decay_interval,
+        "l2_latency": result.l2_latency,
+        "temp_c": result.temp_c,
+        "net_savings_pct": result.net_savings_pct,
+        "gross_savings_pct": result.gross_savings_pct,
+        "perf_loss_pct": result.perf_loss_pct,
+        "turnoff_ratio": result.turnoff_ratio,
+        "baseline_cycles": result.baseline_cycles,
+        "technique_cycles": result.technique_cycles,
+        "leak_baseline_j": result.leak_baseline_j,
+        "leak_technique_j": result.leak_technique_j,
+        "dyn_baseline_j": result.dyn_baseline_j,
+        "dyn_technique_j": result.dyn_technique_j,
+        "induced_misses": result.induced_misses,
+        "slow_hits": result.slow_hits,
+        "true_misses": result.true_misses,
+        "accesses": result.accesses,
+        "event_time_scale": result.event_time_scale,
+        "uncontrolled_power_w": result.uncontrolled_power_w,
+        "energy_ratio": result.energy_ratio,
+        "ed2_ratio": result.ed2_ratio,
+    }
+
+
+def figure_to_dict(fig: ComparisonFigure) -> dict[str, Any]:
+    """Serialise a savings+loss figure pair."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "comparison",
+        "title": fig.title,
+        "l2_latency": fig.l2_latency,
+        "temp_c": fig.temp_c,
+        "rows": [
+            {
+                "benchmark": row.benchmark,
+                "drowsy": result_to_dict(row.drowsy),
+                "gated_vss": result_to_dict(row.gated),
+            }
+            for row in fig.rows
+        ],
+        "averages": {
+            "drowsy_net_savings_pct": fig.avg_drowsy_savings,
+            "gated_net_savings_pct": fig.avg_gated_savings,
+            "drowsy_perf_loss_pct": fig.avg_drowsy_loss,
+            "gated_perf_loss_pct": fig.avg_gated_loss,
+            "gated_win_count": fig.gated_win_count,
+        },
+    }
+
+
+def best_interval_figure_to_dict(fig: BestIntervalFigure) -> dict[str, Any]:
+    """Serialise the Figures 12/13 + Table 3 study."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "best_interval",
+        "title": fig.title,
+        "l2_latency": fig.l2_latency,
+        "temp_c": fig.temp_c,
+        "rows": [
+            {
+                "benchmark": row.benchmark,
+                "drowsy": result_to_dict(row.drowsy),
+                "gated_vss": result_to_dict(row.gated),
+            }
+            for row in fig.rows
+        ],
+        "table_3": {
+            bench: {
+                "drowsy": fig.best_drowsy[bench],
+                "gated_vss": fig.best_gated[bench],
+            }
+            for bench in fig.best_drowsy
+        },
+        "averages": {
+            "drowsy_net_savings_pct": fig.avg_drowsy_savings,
+            "gated_net_savings_pct": fig.avg_gated_savings,
+            "drowsy_perf_loss_pct": fig.avg_drowsy_loss,
+            "gated_perf_loss_pct": fig.avg_gated_loss,
+        },
+    }
+
+
+def save_json(obj: dict[str, Any], path: str | Path) -> Path:
+    """Write a serialised artefact to disk; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(obj, indent=2, sort_keys=True) + "\n")
+    return path

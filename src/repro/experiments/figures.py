@@ -1,0 +1,284 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each ``figure_*`` function returns the data behind the corresponding paper
+artefact; :mod:`repro.experiments.reporting` renders them as text tables
+(the closest equivalent of the paper's bar charts).
+
+Figure map (paper Section 5):
+
+* Figures 3/4  — net savings + perf loss, 110 C, L2 = 5 cycles
+* Figures 5/6  — same at L2 = 8
+* Figure 7     — net savings at 85 C, L2 = 11
+* Figures 8/9  — net savings + perf loss at 110 C, L2 = 11
+* Figures 10/11 — same at L2 = 17
+* Figures 12/13 — best per-benchmark decay interval, 85 C, L2 = 11
+* Table 1 — settling times; Table 2 — machine config; Table 3 — best
+  decay intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.config import MachineConfig, PAPER_MACHINE
+from repro.experiments.runner import DEFAULT_N_OPS, DEFAULT_SEED, figure_point
+from repro.experiments.sweeps import BestInterval, best_interval
+from repro.leakctl.base import (
+    DROWSY_SLEEP_CYCLES,
+    DROWSY_WAKE_CYCLES,
+    GATED_SLEEP_CYCLES,
+    GATED_WAKE_CYCLES,
+    drowsy_technique,
+    gated_vss_technique,
+)
+from repro.leakctl.energy import NetSavingsResult
+from repro.workloads.profiles import BENCHMARK_NAMES
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """Drowsy vs gated-Vss results for one benchmark at one design point."""
+
+    benchmark: str
+    drowsy: NetSavingsResult
+    gated: NetSavingsResult
+
+
+@dataclass
+class ComparisonFigure:
+    """One savings+loss figure pair (e.g. the paper's Figures 3 and 4)."""
+
+    title: str
+    l2_latency: int
+    temp_c: float
+    rows: list[BenchComparison] = field(default_factory=list)
+
+    @property
+    def avg_drowsy_savings(self) -> float:
+        return sum(r.drowsy.net_savings_pct for r in self.rows) / len(self.rows)
+
+    @property
+    def avg_gated_savings(self) -> float:
+        return sum(r.gated.net_savings_pct for r in self.rows) / len(self.rows)
+
+    @property
+    def avg_drowsy_loss(self) -> float:
+        return sum(r.drowsy.perf_loss_pct for r in self.rows) / len(self.rows)
+
+    @property
+    def avg_gated_loss(self) -> float:
+        return sum(r.gated.perf_loss_pct for r in self.rows) / len(self.rows)
+
+    @property
+    def gated_win_count(self) -> int:
+        """Benchmarks where gated-Vss nets more savings than drowsy."""
+        return sum(
+            1
+            for r in self.rows
+            if r.gated.net_savings_pct > r.drowsy.net_savings_pct
+        )
+
+
+def comparison_figure(
+    *,
+    l2_latency: int,
+    temp_c: float,
+    title: str,
+    benchmarks: tuple[str, ...] = BENCHMARK_NAMES,
+    n_ops: int = DEFAULT_N_OPS,
+    seed: int = DEFAULT_SEED,
+) -> ComparisonFigure:
+    """Run the 11-benchmark drowsy/gated comparison at one design point."""
+    fig = ComparisonFigure(title=title, l2_latency=l2_latency, temp_c=temp_c)
+    for bench in benchmarks:
+        drowsy = figure_point(
+            bench,
+            drowsy_technique(),
+            l2_latency=l2_latency,
+            temp_c=temp_c,
+            n_ops=n_ops,
+            seed=seed,
+        )
+        gated = figure_point(
+            bench,
+            gated_vss_technique(),
+            l2_latency=l2_latency,
+            temp_c=temp_c,
+            n_ops=n_ops,
+            seed=seed,
+        )
+        fig.rows.append(BenchComparison(benchmark=bench, drowsy=drowsy, gated=gated))
+    return fig
+
+
+def figure_3_4(**kwargs) -> ComparisonFigure:
+    """Figures 3/4: 110 C, 5-cycle L2 (fast on-chip L2)."""
+    return comparison_figure(
+        l2_latency=5, temp_c=110.0, title="Figures 3/4 (110C, L2=5)", **kwargs
+    )
+
+
+def figure_5_6(**kwargs) -> ComparisonFigure:
+    """Figures 5/6: 110 C, 8-cycle L2."""
+    return comparison_figure(
+        l2_latency=8, temp_c=110.0, title="Figures 5/6 (110C, L2=8)", **kwargs
+    )
+
+
+def figure_7(**kwargs) -> ComparisonFigure:
+    """Figure 7: 85 C, 11-cycle L2 (temperature study, cool point)."""
+    return comparison_figure(
+        l2_latency=11, temp_c=85.0, title="Figure 7 (85C, L2=11)", **kwargs
+    )
+
+
+def figure_8_9(**kwargs) -> ComparisonFigure:
+    """Figures 8/9: 110 C, 11-cycle L2 (Table 2's default)."""
+    return comparison_figure(
+        l2_latency=11, temp_c=110.0, title="Figures 8/9 (110C, L2=11)", **kwargs
+    )
+
+
+def figure_10_11(**kwargs) -> ComparisonFigure:
+    """Figures 10/11: 110 C, 17-cycle L2 (slow L2: drowsy's regime)."""
+    return comparison_figure(
+        l2_latency=17, temp_c=110.0, title="Figures 10/11 (110C, L2=17)", **kwargs
+    )
+
+
+@dataclass
+class BestIntervalFigure:
+    """Figures 12/13 + Table 3: the best-per-benchmark decay intervals."""
+
+    title: str
+    l2_latency: int
+    temp_c: float
+    rows: list[BenchComparison] = field(default_factory=list)
+    best_drowsy: dict[str, int] = field(default_factory=dict)
+    best_gated: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def avg_drowsy_savings(self) -> float:
+        return sum(r.drowsy.net_savings_pct for r in self.rows) / len(self.rows)
+
+    @property
+    def avg_gated_savings(self) -> float:
+        return sum(r.gated.net_savings_pct for r in self.rows) / len(self.rows)
+
+    @property
+    def avg_drowsy_loss(self) -> float:
+        return sum(r.drowsy.perf_loss_pct for r in self.rows) / len(self.rows)
+
+    @property
+    def avg_gated_loss(self) -> float:
+        return sum(r.gated.perf_loss_pct for r in self.rows) / len(self.rows)
+
+
+def figure_12_13(
+    *,
+    l2_latency: int = 11,
+    temp_c: float = 85.0,
+    benchmarks: tuple[str, ...] = BENCHMARK_NAMES,
+    n_ops: int = DEFAULT_N_OPS,
+    seed: int = DEFAULT_SEED,
+) -> BestIntervalFigure:
+    """Figures 12/13: oracle best decay interval per benchmark (85 C, L2=11).
+
+    Also yields Table 3 (the best intervals themselves) via the
+    ``best_drowsy`` / ``best_gated`` maps.
+    """
+    fig = BestIntervalFigure(
+        title="Figures 12/13 (85C, L2=11, best per-benchmark interval)",
+        l2_latency=l2_latency,
+        temp_c=temp_c,
+    )
+    for bench in benchmarks:
+        dr: BestInterval = best_interval(
+            bench,
+            drowsy_technique(),
+            l2_latency=l2_latency,
+            temp_c=temp_c,
+            n_ops=n_ops,
+            seed=seed,
+        )
+        gv: BestInterval = best_interval(
+            bench,
+            gated_vss_technique(),
+            l2_latency=l2_latency,
+            temp_c=temp_c,
+            n_ops=n_ops,
+            seed=seed,
+        )
+        fig.rows.append(
+            BenchComparison(benchmark=bench, drowsy=dr.result, gated=gv.result)
+        )
+        fig.best_drowsy[bench] = dr.interval
+        fig.best_gated[bench] = gv.interval
+    return fig
+
+
+def table_1() -> dict[str, dict[str, int]]:
+    """Table 1: settling times (cycles)."""
+    return {
+        "Low leak mode to high": {
+            "drowsy": DROWSY_WAKE_CYCLES,
+            "gated-vss": GATED_WAKE_CYCLES,
+        },
+        "High leak to low": {
+            "drowsy": DROWSY_SLEEP_CYCLES,
+            "gated-vss": GATED_SLEEP_CYCLES,
+        },
+    }
+
+
+def table_2(machine: MachineConfig = PAPER_MACHINE) -> dict[str, str]:
+    """Table 2: the simulated machine configuration."""
+    return {
+        "Instruction window": f"{machine.ruu_size}-RUU, {machine.lsq_size}-LSQ",
+        "Issue width": f"{machine.issue_width} instructions per cycle",
+        "Functional units": (
+            f"{machine.n_int_alu} IntALU, {machine.n_int_mult} IntMult/Div, "
+            f"{machine.n_fp_alu} FPALU, {machine.n_fp_mult} FPMult/Div, "
+            f"{machine.n_mem_ports} mem ports"
+        ),
+        "L1 D-cache": (
+            f"{machine.l1d_geometry.size_bytes // 1024} KB, "
+            f"{machine.l1d_geometry.assoc}-way LRU, "
+            f"{machine.l1d_geometry.line_bytes} B blocks, "
+            f"{machine.l1d_latency}-cycle latency"
+        ),
+        "L1 I-cache": (
+            f"{machine.l1i_geometry.size_bytes // 1024} KB, "
+            f"{machine.l1i_geometry.assoc}-way LRU, "
+            f"{machine.l1i_geometry.line_bytes} B blocks, "
+            f"{machine.l1i_latency}-cycle latency"
+        ),
+        "L2": (
+            f"Unified, {machine.l2_geometry.size_bytes // (1024 * 1024)} MB, "
+            f"{machine.l2_geometry.assoc}-way LRU, "
+            f"{machine.l2_geometry.line_bytes} B blocks, "
+            f"{machine.l2_latency}-cycle latency"
+        ),
+        "Memory": f"{machine.mem_latency} cycles",
+        "Branch predictor": (
+            f"Hybrid: {machine.bimod_entries // 1024}K bimod and "
+            f"{machine.gag_entries // 1024}K/{machine.gag_history_bits}-bit/GAg, "
+            f"{machine.chooser_entries // 1024}K bimod-style chooser"
+        ),
+        "Branch target buffer": (
+            f"{machine.btb_entries // 1024}K-entry, {machine.btb_assoc}-way"
+        ),
+    }
+
+
+def table_3(fig: BestIntervalFigure | None = None, **kwargs) -> dict[str, dict[str, int]]:
+    """Table 3: best decay intervals per benchmark and technique."""
+    if fig is None:
+        fig = figure_12_13(**kwargs)
+    return {
+        bench: {
+            "drowsy": fig.best_drowsy[bench],
+            "gated-vss": fig.best_gated[bench],
+        }
+        for bench in fig.best_drowsy
+    }

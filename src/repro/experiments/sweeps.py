@@ -1,0 +1,183 @@
+"""Parameter sweeps: decay intervals and L2 latencies.
+
+The decay-interval sweep is the paper's Section 5.4 oracle: "for both
+drowsy and gated-Vss, we identify the best decay interval for each
+benchmark" (Figures 12/13, Table 3).  The L2-latency sweep is the paper's
+main axis (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.config import PAPER_L2_LATENCIES
+from repro.experiments.runner import (
+    DEFAULT_N_OPS,
+    DEFAULT_SEED,
+    SWEEP_INTERVALS,
+    figure_point,
+)
+from repro.leakctl.base import TechniqueConfig
+from repro.leakctl.energy import NetSavingsResult
+
+
+def interval_sweep(
+    benchmark: str,
+    technique: TechniqueConfig,
+    *,
+    intervals: tuple[int, ...] = SWEEP_INTERVALS,
+    l2_latency: int = 11,
+    temp_c: float = 85.0,
+    n_ops: int = DEFAULT_N_OPS,
+    seed: int = DEFAULT_SEED,
+) -> list[NetSavingsResult]:
+    """Net-savings results across the decay-interval grid."""
+    return [
+        figure_point(
+            benchmark,
+            technique,
+            l2_latency=l2_latency,
+            temp_c=temp_c,
+            decay_interval=interval,
+            n_ops=n_ops,
+            seed=seed,
+        )
+        for interval in intervals
+    ]
+
+
+@dataclass(frozen=True)
+class BestInterval:
+    """The oracle pick for one (benchmark, technique)."""
+
+    benchmark: str
+    technique: str
+    interval: int
+    result: NetSavingsResult
+
+
+def best_interval(
+    benchmark: str,
+    technique: TechniqueConfig,
+    *,
+    intervals: tuple[int, ...] = SWEEP_INTERVALS,
+    l2_latency: int = 11,
+    temp_c: float = 85.0,
+    n_ops: int = DEFAULT_N_OPS,
+    seed: int = DEFAULT_SEED,
+) -> BestInterval:
+    """Best decay interval by net energy savings (the paper's criterion)."""
+    results = interval_sweep(
+        benchmark,
+        technique,
+        intervals=intervals,
+        l2_latency=l2_latency,
+        temp_c=temp_c,
+        n_ops=n_ops,
+        seed=seed,
+    )
+    winner = max(results, key=lambda r: r.net_savings_pct)
+    return BestInterval(
+        benchmark=benchmark,
+        technique=technique.name,
+        interval=winner.decay_interval,
+        result=winner,
+    )
+
+
+@dataclass(frozen=True)
+class ReplicationSummary:
+    """Mean and spread of a figure point across trace seeds.
+
+    Each seed regenerates the benchmark's stochastic stream from scratch,
+    so the spread measures how much of a result is workload noise rather
+    than technique behaviour.
+    """
+
+    benchmark: str
+    technique: str
+    seeds: tuple[int, ...]
+    net_savings_mean: float
+    net_savings_std: float
+    perf_loss_mean: float
+    perf_loss_std: float
+
+    @property
+    def n(self) -> int:
+        return len(self.seeds)
+
+
+def replicate(
+    benchmark: str,
+    technique: TechniqueConfig,
+    *,
+    seeds: tuple[int, ...] = (1, 2, 3),
+    l2_latency: int = 11,
+    temp_c: float = 110.0,
+    n_ops: int = DEFAULT_N_OPS,
+    **kwargs,
+) -> ReplicationSummary:
+    """Run one figure point across several trace seeds.
+
+    Use to attach error bars to any comparison, or to check that a
+    verdict is not an artefact of one particular stochastic trace.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    savings = []
+    losses = []
+    for seed in seeds:
+        result = figure_point(
+            benchmark,
+            technique,
+            l2_latency=l2_latency,
+            temp_c=temp_c,
+            n_ops=n_ops,
+            seed=seed,
+            **kwargs,
+        )
+        savings.append(result.net_savings_pct)
+        losses.append(result.perf_loss_pct)
+
+    def mean(xs):
+        return sum(xs) / len(xs)
+
+    def std(xs):
+        m = mean(xs)
+        return (sum((x - m) ** 2 for x in xs) / len(xs)) ** 0.5
+
+    return ReplicationSummary(
+        benchmark=benchmark,
+        technique=technique.name,
+        seeds=tuple(seeds),
+        net_savings_mean=mean(savings),
+        net_savings_std=std(savings),
+        perf_loss_mean=mean(losses),
+        perf_loss_std=std(losses),
+    )
+
+
+def l2_latency_sweep(
+    benchmark: str,
+    technique: TechniqueConfig,
+    *,
+    latencies: tuple[int, ...] = PAPER_L2_LATENCIES,
+    temp_c: float = 110.0,
+    decay_interval: int | None = None,
+    n_ops: int = DEFAULT_N_OPS,
+    seed: int = DEFAULT_SEED,
+) -> list[NetSavingsResult]:
+    """Net-savings results across the paper's L2-latency grid."""
+    kwargs = {} if decay_interval is None else {"decay_interval": decay_interval}
+    return [
+        figure_point(
+            benchmark,
+            technique,
+            l2_latency=latency,
+            temp_c=temp_c,
+            n_ops=n_ops,
+            seed=seed,
+            **kwargs,
+        )
+        for latency in latencies
+    ]

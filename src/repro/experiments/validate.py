@@ -1,0 +1,165 @@
+"""Validate a reproduction run against the paper's claims.
+
+``repro-paper reproduce`` writes JSON artefacts; this module re-reads them
+and checks every headline claim of the paper's Section 5, so a user can
+tell at a glance whether their run reproduced the science::
+
+    repro-paper reproduce --out results/
+    repro-paper validate results/
+
+Each check is a :class:`Claim` with a pass/fail and the numbers behind it.
+Validation is deliberately decoupled from generation: it only consumes the
+JSON schema, so it can also grade artefacts produced elsewhere.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One graded claim."""
+
+    name: str
+    description: str
+    passed: bool
+    detail: str
+
+
+class ValidationError(ValueError):
+    """Raised when the artefact directory is unusable."""
+
+
+def _load(path: Path) -> dict:
+    if not path.exists():
+        raise ValidationError(f"missing artefact: {path}")
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"unparseable artefact {path}: {exc}") from exc
+
+
+def _averages(fig: dict) -> tuple[float, float, float, float, int]:
+    a = fig["averages"]
+    return (
+        a["drowsy_net_savings_pct"],
+        a["gated_net_savings_pct"],
+        a["drowsy_perf_loss_pct"],
+        a["gated_perf_loss_pct"],
+        a.get("gated_win_count", 0),
+    )
+
+
+def validate_campaign(results_dir: str | Path) -> list[Claim]:
+    """Grade a campaign directory against the paper's Section-5 claims."""
+    out = Path(results_dir)
+    fig34 = _load(out / "fig03_04_l2_5.json")
+    fig56 = _load(out / "fig05_06_l2_8.json")
+    fig7 = _load(out / "fig07_l2_11_85c.json")
+    fig89 = _load(out / "fig08_09_l2_11_110c.json")
+    fig1011 = _load(out / "fig10_11_l2_17.json")
+    fig1213 = _load(out / "fig12_13_best_interval.json")
+
+    claims: list[Claim] = []
+
+    def claim(name: str, description: str, passed: bool, detail: str) -> None:
+        claims.append(
+            Claim(name=name, description=description, passed=passed, detail=detail)
+        )
+
+    n = len(fig34["rows"])
+
+    dr, gv, drl, gvl, wins = _averages(fig34)
+    claim(
+        "fig3_4.gated_superior",
+        "5-cycle L2: gated-Vss almost uniformly superior in savings",
+        gv > dr and wins >= n - 1,
+        f"gated {gv:.1f} % vs drowsy {dr:.1f} %, gated wins {wins}/{n}",
+    )
+    claim(
+        "fig4.gated_faster",
+        "5-cycle L2: gated-Vss also loses less performance",
+        gvl < drl,
+        f"gated loss {gvl:.2f} % vs drowsy {drl:.2f} %",
+    )
+
+    dr, gv, _, _, wins = _averages(fig56)
+    claim(
+        "fig5_6.gated_ahead_drowsy_wins_a_few",
+        "8-cycle L2: gated ahead on average; drowsy wins a small number",
+        gv > dr and 1 <= n - wins <= 4,
+        f"gated {gv:.1f} % vs drowsy {dr:.1f} %, drowsy wins {n - wins}/{n}",
+    )
+
+    dr, gv, drl, gvl, wins = _averages(fig89)
+    split_lo = max(int(0.25 * n), 1)
+    split_hi = min(n - 1, int(0.75 * n) + (1 if (3 * n) % 4 else 0))
+    claim(
+        "fig8_9.less_clear",
+        "11-cycle L2: gated slightly better savings, slightly worse loss, "
+        "verdicts split",
+        abs(gv - dr) < 15.0 and gvl > drl - 0.3 and split_lo <= wins <= split_hi,
+        f"savings gap {gv - dr:+.1f} pts, loss gap {gvl - drl:+.2f} pts, "
+        f"gated wins {wins}/{n}",
+    )
+
+    dr, gv, drl, gvl, wins = _averages(fig1011)
+    claim(
+        "fig10_11.drowsy_clearly_superior",
+        "17-cycle L2: drowsy clearly superior; gated loses more performance",
+        dr > gv and gvl > drl and wins <= n // 2,
+        f"drowsy {dr:.1f} % vs gated {gv:.1f} %, gated loss {gvl:.2f} % "
+        f"vs drowsy {drl:.2f} %",
+    )
+
+    dr85, gv85, _, _, _ = _averages(fig7)
+    dr110, gv110, _, _, _ = _averages(fig89)
+    claim(
+        "fig7_vs_8.temperature",
+        "85 C -> 110 C: savings rise for both (leakage exponential in T)",
+        dr110 > dr85 and gv110 > gv85,
+        f"drowsy {dr85:.1f} -> {dr110:.1f} %, gated {gv85:.1f} -> {gv110:.1f} %",
+    )
+
+    table3 = fig1213["table_3"]
+    ordered = all(
+        vals["gated_vss"] >= vals["drowsy"] for vals in table3.values()
+    )
+    gated_ivs = [v["gated_vss"] for v in table3.values()]
+    drowsy_ivs = [v["drowsy"] for v in table3.values()]
+    spread = (max(gated_ivs) / min(gated_ivs)) >= (
+        max(drowsy_ivs) / min(drowsy_ivs)
+    )
+    claim(
+        "tab3.interval_structure",
+        "Table 3: gated best intervals >= drowsy's and spread wider",
+        ordered and spread,
+        f"gated {min(gated_ivs)}..{max(gated_ivs)}, "
+        f"drowsy {min(drowsy_ivs)}..{max(drowsy_ivs)}",
+    )
+
+    _, _, _, gvl_fixed, _ = _averages(fig89)
+    _, _, _, gvl_best, _ = _averages(fig1213)
+    claim(
+        "fig13.adaptivity_cuts_gated_loss",
+        "Best per-benchmark intervals reduce gated-Vss's performance loss",
+        gvl_best < gvl_fixed,
+        f"gated loss {gvl_fixed:.2f} % (fixed) -> {gvl_best:.2f} % (oracle)",
+    )
+
+    return claims
+
+
+def render_validation(claims: list[Claim]) -> str:
+    """Human-readable scorecard."""
+    lines = ["paper-claim validation"]
+    passed = sum(c.passed for c in claims)
+    for c in claims:
+        mark = "PASS" if c.passed else "FAIL"
+        lines.append(f"[{mark}] {c.name}: {c.description}")
+        lines.append(f"       {c.detail}")
+    lines.append(f"{passed}/{len(claims)} claims reproduced")
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""HotLeakage-style architectural leakage model.
+
+Layers, bottom-up:
+
+* :mod:`repro.leakage.bsim3` — the BSIM3-style subthreshold equation
+  (paper Equation 2) with temperature, Vdd, Vth and DIBL dependence;
+* :mod:`repro.leakage.gate` — curve-fitted gate tunnelling + GIDL;
+* :mod:`repro.leakage.kdesign` — dual k_design derivation (Equations 3-8)
+  from transistor-level enumeration;
+* :mod:`repro.leakage.cells` — per-cell models (6T SRAM, logic cells);
+* :mod:`repro.leakage.structures` — caches and register files;
+* :mod:`repro.leakage.model` — the :class:`HotLeakage` facade with dynamic
+  (T, Vdd) recalculation.
+"""
+
+from repro.leakage.bsim3 import (
+    DeviceParams,
+    device_subthreshold_current,
+    leakage_vs_temperature,
+    leakage_vs_vdd,
+    unit_leakage,
+)
+from repro.leakage.cells import LogicCellModel, SRAMCellModel, varied_unit_leakage
+from repro.leakage.gate import (
+    gate_leakage_per_um,
+    gidl_multiplier,
+    transistor_gate_leakage,
+)
+from repro.leakage.kdesign import (
+    KDesign,
+    KDesignSurface,
+    derive_kdesign,
+    kdesign_surface,
+)
+from repro.leakage.model import HotLeakage
+from repro.leakage.structures import (
+    L1D_GEOMETRY,
+    L1I_GEOMETRY,
+    L2_GEOMETRY,
+    CacheGeometry,
+    CacheLeakageModel,
+    LinePowers,
+    RegFileGeometry,
+    RegFileLeakageModel,
+)
+
+__all__ = [
+    "unit_leakage",
+    "device_subthreshold_current",
+    "DeviceParams",
+    "leakage_vs_temperature",
+    "leakage_vs_vdd",
+    "gate_leakage_per_um",
+    "transistor_gate_leakage",
+    "gidl_multiplier",
+    "KDesign",
+    "KDesignSurface",
+    "derive_kdesign",
+    "kdesign_surface",
+    "SRAMCellModel",
+    "LogicCellModel",
+    "varied_unit_leakage",
+    "CacheGeometry",
+    "CacheLeakageModel",
+    "LinePowers",
+    "RegFileGeometry",
+    "RegFileLeakageModel",
+    "L1D_GEOMETRY",
+    "L1I_GEOMETRY",
+    "L2_GEOMETRY",
+    "HotLeakage",
+]

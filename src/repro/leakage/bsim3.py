@@ -1,0 +1,171 @@
+"""BSIM3-style subthreshold leakage model (paper Section 3.1.1, Equation 2).
+
+The unit-leakage equation reproduced here is the heart of HotLeakage:
+
+    I_leak = mu0 * Cox * (W/L) * exp(b * (Vdd - Vdd0)) * vt^2
+             * (1 - exp(-Vdd / vt)) * exp((-|Vth| - Voff) / (n * vt))
+
+with ``vt = kT/q`` the thermal voltage, ``Vth`` itself temperature dependent,
+``b`` the DIBL curve-fit coefficient and ``Voff`` the BSIM3 empirical offset.
+The two assumptions from the paper hold: Vgs = 0 (transistor off) and
+Vds = Vdd (single transistor; stacks are handled by ``k_design`` and, at the
+transistor level, by :mod:`repro.circuits.solver`).
+
+A generalised form ``device_subthreshold_current`` with arbitrary Vgs/Vds and
+body bias is also provided; it reduces exactly to the unit-leakage equation
+at Vgs = 0, Vds = Vdd and is used by the transistor-level solver that stands
+in for the paper's Cadence/AIM-spice runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.tech.constants import ROOM_TEMP_K, thermal_voltage
+from repro.tech.nodes import TechnologyNode
+
+
+@dataclass(frozen=True)
+class DeviceParams:
+    """Per-device parameters resolved from a technology node.
+
+    Wraps the node parameters for one polarity (NMOS or PMOS) so the leakage
+    equations below need no polarity branching.  Threshold shifts (body bias,
+    high-Vt variants, inter-die variation) are applied via ``vth_shift``.
+    """
+
+    node: TechnologyNode
+    pmos: bool = False
+    w_over_l: float = 1.0
+    vth_shift: float = 0.0
+    length_mult: float = 1.0
+    tox_mult: float = 1.0
+
+    @property
+    def mu0(self) -> float:
+        return self.node.mu0_p if self.pmos else self.node.mu0_n
+
+    @property
+    def vth0(self) -> float:
+        base = self.node.vth_p if self.pmos else self.node.vth_n
+        return base + self.vth_shift
+
+    @property
+    def cox(self) -> float:
+        return self.node.cox / self.tox_mult
+
+    def vth_at(self, temp_k: float) -> float:
+        """Threshold-voltage magnitude at ``temp_k`` (V).
+
+        Vth decreases linearly with temperature (BSIM3 ``KT1`` behaviour);
+        the magnitude is floored at a small positive value so extreme
+        temperature sweeps stay physical.
+        """
+        vth = self.vth0 + self.node.vth_temp_coeff * (temp_k - ROOM_TEMP_K)
+        return max(vth, 0.01)
+
+
+def unit_leakage(
+    node: TechnologyNode,
+    *,
+    vdd: float | None = None,
+    temp_k: float = ROOM_TEMP_K,
+    pmos: bool = False,
+    w_over_l: float = 1.0,
+    vth_shift: float = 0.0,
+    length_mult: float = 1.0,
+    tox_mult: float = 1.0,
+) -> float:
+    """Unit leakage current (A) of one OFF transistor per paper Equation 2.
+
+    Args:
+        node: Technology preset.
+        vdd: Supply voltage; defaults to the node's nominal ``vdd0``.
+        temp_k: Junction temperature in kelvin.
+        pmos: Select P-type parameters (magnitude conventions: result > 0).
+        w_over_l: Transistor aspect ratio; 1.0 gives the paper's
+            "unit leakage" reference value.
+        vth_shift: Additive threshold shift (V), e.g. +0.1 for a high-Vt
+            access transistor or an RBB-raised threshold.
+        length_mult: Channel-length multiplier for variation studies; leakage
+            scales as 1/L through the W/L term and the DIBL sensitivity of
+            short devices is folded into the curve-fit coefficient.
+        tox_mult: Gate-oxide thickness multiplier (scales Cox as 1/tox).
+
+    Returns:
+        Subthreshold leakage current in amperes (positive).
+    """
+    if vdd is None:
+        vdd = node.vdd0
+    if vdd < 0:
+        raise ValueError(f"vdd must be non-negative, got {vdd}")
+    dev = DeviceParams(
+        node=node,
+        pmos=pmos,
+        w_over_l=w_over_l,
+        vth_shift=vth_shift,
+        length_mult=length_mult,
+        tox_mult=tox_mult,
+    )
+    return device_subthreshold_current(dev, vgs=0.0, vds=vdd, temp_k=temp_k)
+
+
+def device_subthreshold_current(
+    dev: DeviceParams,
+    *,
+    vgs: float,
+    vds: float,
+    temp_k: float = ROOM_TEMP_K,
+    vsb: float = 0.0,
+) -> float:
+    """Subthreshold drain current (A) for arbitrary bias.
+
+    Generalises Equation 2: the gate drive enters through
+    ``exp((Vgs - Vth - Voff)/(n vt))`` (at Vgs=0 this is the paper's
+    ``exp((-|Vth| - Voff)/(n vt))``), drain bias through the
+    ``(1 - exp(-Vds/vt))`` saturation factor and the DIBL factor
+    ``exp(b (Vds - Vdd0))``, and body bias through a linearised body effect
+    ``Vth += gamma * Vsb``.  Voltages are magnitudes: for PMOS pass
+    ``vgs = |Vgs|`` etc.
+
+    The gate drive is capped at the threshold point: this model is only
+    meant for OFF devices (the ON region is handled by the solver's smooth
+    EKV-style model).
+    """
+    if vds < 0:
+        raise ValueError(f"vds must be non-negative, got {vds}")
+    node = dev.node
+    vt = thermal_voltage(temp_k)
+    vth = dev.vth_at(temp_k) + node.body_effect_gamma * vsb
+    # Effective W/L: length multiplier shortens/lengthens the channel.
+    w_over_l = dev.w_over_l / dev.length_mult
+    prefactor = dev.mu0 * dev.cox * w_over_l * vt * vt
+    n = node.subthreshold_swing_n
+    gate_drive = min(vgs, vth)  # subthreshold validity cap
+    exp_gate = math.exp((gate_drive - vth - node.voff) / (n * vt))
+    sat = 1.0 - math.exp(-vds / vt) if vds > 0 else 0.0
+    dibl = math.exp(node.dibl_b * (vds - node.vdd0))
+    return prefactor * exp_gate * sat * dibl
+
+
+def leakage_vs_temperature(
+    node: TechnologyNode,
+    temps_k: list[float],
+    *,
+    vdd: float | None = None,
+    pmos: bool = False,
+) -> list[float]:
+    """Unit leakage evaluated over a temperature sweep (Figure 1c axis)."""
+    return [unit_leakage(node, vdd=vdd, temp_k=t, pmos=pmos) for t in temps_k]
+
+
+def leakage_vs_vdd(
+    node: TechnologyNode,
+    vdds: list[float],
+    *,
+    temp_k: float = ROOM_TEMP_K,
+    pmos: bool = False,
+) -> list[float]:
+    """Unit leakage over a supply-voltage sweep (Figure 1b axis)."""
+    return [unit_leakage(node, vdd=v, temp_k=temp_k, pmos=pmos) for v in vdds]

@@ -1,0 +1,232 @@
+"""Architectural cell leakage models (paper Equations 3-4).
+
+Bridges the transistor level to the architecture level: each cell type
+(6T SRAM bit, decoder NAND, wordline driver, ...) gets an Equation-3
+leakage model ``I_cell = n_n k_n I_n + n_p k_p I_p`` with unit leakages from
+the BSIM3-style model and ``k_design`` factors from the transistor-level
+enumeration, plus a gate-leakage term for 70/100 nm.  Inter-die parameter
+variation is folded in by averaging the unit leakages over the Gaussian
+sample population (paper Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.circuits.library import (
+    SRAM_ACCESS_WL,
+    SRAM_PULLDOWN_WL,
+    SRAM_PULLUP_WL,
+    sram6t_leakage,
+)
+from repro.leakage.bsim3 import unit_leakage
+from repro.leakage.gate import transistor_gate_leakage
+from repro.leakage.kdesign import KDesign, kdesign_surface
+from repro.tech.constants import ROOM_TEMP_K
+from repro.tech.nodes import TechnologyNode
+from repro.tech.variation import VariationSpec, mean_leakage_with_variation
+
+
+def varied_unit_leakage(
+    node: TechnologyNode,
+    *,
+    vdd: float,
+    temp_k: float,
+    pmos: bool,
+    variation: VariationSpec | None,
+    vth_shift: float = 0.0,
+) -> float:
+    """Unit leakage (A), averaged over inter-die variation when requested."""
+    if variation is None:
+        return unit_leakage(
+            node, vdd=vdd, temp_k=temp_k, pmos=pmos, vth_shift=vth_shift
+        )
+    vth0 = node.vth_p if pmos else node.vth_n
+
+    def sample(length_m: float, tox_m: float, vdd_m: float, vth_m: float) -> float:
+        return unit_leakage(
+            node,
+            vdd=vdd * vdd_m,
+            temp_k=temp_k,
+            pmos=pmos,
+            vth_shift=vth_shift + vth0 * (vth_m - 1.0),
+            length_mult=length_m,
+            tox_mult=tox_m,
+        )
+
+    return mean_leakage_with_variation(sample, variation)
+
+
+@dataclass(frozen=True)
+class SRAMCellModel:
+    """Leakage model of one 6T SRAM bit in retention.
+
+    The 6T cell has a single retention state (symmetric in the stored
+    value), so its k_design factors are derived directly from the known
+    OFF-device populations rather than by input enumeration: the off
+    pull-down plus the bit-line access device define ``k_n`` and the off
+    pull-up defines ``k_p``.
+
+    Attributes:
+        node: Technology preset.
+        access_vth_shift: Extra Vth on access transistors (0 for the
+            paper's fair same-Vt comparison; positive models the drowsy
+            paper's high-Vt pass gates).
+    """
+
+    node: TechnologyNode
+    access_vth_shift: float = 0.0
+
+    N_NMOS = 4  # two pull-downs + two access transistors
+    N_PMOS = 2  # two pull-ups
+
+    def kdesign(self, *, vdd: float, temp_k: float = ROOM_TEMP_K) -> KDesign:
+        """Equation-5/6 style factors for the retention state."""
+        i_n = unit_leakage(self.node, vdd=vdd, temp_k=temp_k, pmos=False)
+        i_p = unit_leakage(self.node, vdd=vdd, temp_k=temp_k, pmos=True)
+        total = sram6t_leakage(
+            self.node,
+            vdd=vdd,
+            temp_k=temp_k,
+            access_vth_shift=self.access_vth_shift,
+        )
+        i_pu = unit_leakage(
+            self.node, vdd=vdd, temp_k=temp_k, pmos=True, w_over_l=SRAM_PULLUP_WL
+        )
+        kn = (total - i_pu) / (self.N_NMOS * i_n)
+        kp = i_pu / (self.N_PMOS * i_p)
+        return KDesign(
+            cell="sram6t", kn=kn, kp=kp, n_nmos=self.N_NMOS, n_pmos=self.N_PMOS
+        )
+
+    def subthreshold_current(
+        self,
+        *,
+        vdd: float,
+        temp_k: float = ROOM_TEMP_K,
+        variation: VariationSpec | None = None,
+    ) -> float:
+        """Retention subthreshold leakage (A) of one bit cell."""
+        if variation is None:
+            return sram6t_leakage(
+                self.node,
+                vdd=vdd,
+                temp_k=temp_k,
+                access_vth_shift=self.access_vth_shift,
+            )
+
+        def sample(length_m: float, tox_m: float, vdd_m: float, vth_m: float) -> float:
+            shifted = self.node.with_overrides(
+                vth_n=self.node.vth_n * vth_m,
+                vth_p=self.node.vth_p * vth_m,
+                tox_nm=self.node.tox_nm * tox_m,
+                mu0_n=self.node.mu0_n / length_m,
+                mu0_p=self.node.mu0_p / length_m,
+            )
+            return sram6t_leakage(
+                shifted,
+                vdd=vdd * vdd_m,
+                temp_k=temp_k,
+                access_vth_shift=self.access_vth_shift,
+            )
+
+        return mean_leakage_with_variation(sample, variation)
+
+    def gate_current(self, *, vdd: float, temp_k: float = ROOM_TEMP_K) -> float:
+        """Gate-tunnelling leakage (A) of one bit cell.
+
+        Approximated as the tunnelling of the devices with full gate bias in
+        retention: the ON pull-down and ON pull-up (one of each).
+        """
+        on_widths = (SRAM_PULLDOWN_WL, SRAM_PULLUP_WL)
+        return sum(
+            transistor_gate_leakage(
+                self.node, w_over_l=w, vdd=vdd, temp_k=temp_k
+            )
+            for w in on_widths
+        )
+
+    def total_current(
+        self,
+        *,
+        vdd: float,
+        temp_k: float = ROOM_TEMP_K,
+        variation: VariationSpec | None = None,
+    ) -> float:
+        """Subthreshold + gate leakage (A) of one bit cell in retention."""
+        return self.subthreshold_current(
+            vdd=vdd, temp_k=temp_k, variation=variation
+        ) + self.gate_current(vdd=vdd, temp_k=temp_k)
+
+    def power(
+        self,
+        *,
+        vdd: float,
+        temp_k: float = ROOM_TEMP_K,
+        variation: VariationSpec | None = None,
+    ) -> float:
+        """Static power (W) of one bit cell: Equation 4 for N_cells = 1."""
+        return vdd * self.total_current(vdd=vdd, temp_k=temp_k, variation=variation)
+
+
+@dataclass(frozen=True)
+class LogicCellModel:
+    """Equation-3 leakage model of a standard logic cell (edge logic).
+
+    Used for cache peripheral circuitry: decoder NAND gates, wordline
+    drivers, and (as an inverter-pair approximation) sense amplifiers.
+    """
+
+    node: TechnologyNode
+    cell_name: str
+    avg_w_over_l: float = 2.0
+
+    def kdesign(self, *, vdd: float, temp_k: float = ROOM_TEMP_K) -> KDesign:
+        surface = kdesign_surface(self.cell_name, self.node.name)
+        return surface.at(temp_k, vdd)
+
+    def total_current(
+        self,
+        *,
+        vdd: float,
+        temp_k: float = ROOM_TEMP_K,
+        variation: VariationSpec | None = None,
+    ) -> float:
+        """Average leakage (A) of the cell over its input combinations."""
+        kd = self.kdesign(vdd=vdd, temp_k=temp_k)
+        i_n = varied_unit_leakage(
+            self.node, vdd=vdd, temp_k=temp_k, pmos=False, variation=variation
+        )
+        i_p = varied_unit_leakage(
+            self.node, vdd=vdd, temp_k=temp_k, pmos=True, variation=variation
+        )
+        subthreshold = kd.cell_current(i_n, i_p)
+        # Roughly half the gates see full bias in a static CMOS network.
+        n_devices = kd.n_nmos + kd.n_pmos
+        gate = 0.5 * n_devices * transistor_gate_leakage(
+            self.node, w_over_l=self.avg_w_over_l, vdd=vdd, temp_k=temp_k
+        )
+        return subthreshold + gate
+
+    def power(
+        self,
+        *,
+        vdd: float,
+        temp_k: float = ROOM_TEMP_K,
+        variation: VariationSpec | None = None,
+    ) -> float:
+        """Static power (W) of one cell."""
+        return vdd * self.total_current(vdd=vdd, temp_k=temp_k, variation=variation)
+
+
+@lru_cache(maxsize=128)
+def _cached_logic_cell(node_name: str, cell_name: str) -> "LogicCellModel":
+    from repro.tech.nodes import get_node
+
+    return LogicCellModel(node=get_node(node_name), cell_name=cell_name)
+
+
+def logic_cell(node: TechnologyNode, cell_name: str) -> LogicCellModel:
+    """Shared, cached :class:`LogicCellModel` for ``cell_name`` on ``node``."""
+    return _cached_logic_cell(node.name, cell_name)

@@ -1,0 +1,100 @@
+"""Gate (direct-tunnelling) leakage and the GIDL effect (paper Section 3.2).
+
+An explicit gate-leakage equation is "very difficult and also unnecessary
+for an architectural-level model" (paper), so — like HotLeakage — we use a
+curve-fitted form anchored to the paper's calibration point:
+
+    40 nA/um of gate width at 70 nm, tox = 1.2 nm, Vdd = 0.9 V, T = 300 K.
+
+Dependences follow the paper's observations from transistor-level runs:
+strong (exponential) in oxide thickness, strong (power-law) in supply
+voltage, weak (linear) in temperature.
+
+GIDL (gate-induced drain leakage) grows when the gate goes negative
+relative to the drain and worsens under reverse body bias; it is what
+limits the RBB leakage-control technique at future nodes (the paper's
+stated reason for not pursuing RBB).  :func:`gidl_multiplier` provides the
+penalty factor the RBB model applies.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.tech.constants import ROOM_TEMP_K
+from repro.tech.nodes import TechnologyNode
+
+# Fitted sensitivities (per paper Section 3.2 qualitative behaviour).
+TOX_SENSITIVITY_PER_NM = 13.0
+"""Exponential tox sensitivity: ~1 decade per 0.18 nm of oxide."""
+
+VDD_EXPONENT = 4.0
+"""Power-law supply-voltage dependence of direct tunnelling."""
+
+TEMP_COEFF_PER_K = 1.0e-3
+"""Weak linear temperature dependence."""
+
+GIDL_BIAS_COEFF = 4.5
+"""Exponential growth of GIDL per volt of reverse body bias."""
+
+
+def gate_leakage_per_um(
+    node: TechnologyNode,
+    *,
+    vdd: float,
+    temp_k: float = ROOM_TEMP_K,
+    tox_mult: float = 1.0,
+) -> float:
+    """Gate-leakage current density in A per um of gate width.
+
+    Returns 0 for nodes where gate leakage is negligible (180/130 nm).
+    The calibration voltage is 0.9x the node's nominal supply, matching the
+    paper's 0.9 V anchor at the 70 nm node (vdd0 = 1.0 V).
+    """
+    if node.gate_leak_na_per_um <= 0.0:
+        return 0.0
+    if vdd < 0:
+        raise ValueError(f"vdd must be non-negative, got {vdd}")
+    cal_current = node.gate_leak_na_per_um * 1e-9
+    cal_vdd = 0.9 * node.vdd0
+    tox_nm = node.tox_nm * tox_mult
+    tox_factor = math.exp(-TOX_SENSITIVITY_PER_NM * (tox_nm - node.tox_nm))
+    vdd_factor = (vdd / cal_vdd) ** VDD_EXPONENT if vdd > 0 else 0.0
+    temp_factor = 1.0 + TEMP_COEFF_PER_K * (temp_k - ROOM_TEMP_K)
+    return cal_current * tox_factor * vdd_factor * max(temp_factor, 0.0)
+
+
+def transistor_gate_leakage(
+    node: TechnologyNode,
+    *,
+    w_over_l: float,
+    vdd: float,
+    temp_k: float = ROOM_TEMP_K,
+    tox_mult: float = 1.0,
+) -> float:
+    """Gate leakage (A) of one transistor of aspect ratio ``w_over_l``.
+
+    Gate width is ``w_over_l`` times the drawn feature size.
+    """
+    width_um = w_over_l * node.feature_nm * 1e-3
+    return width_um * gate_leakage_per_um(
+        node, vdd=vdd, temp_k=temp_k, tox_mult=tox_mult
+    )
+
+
+def gidl_multiplier(node: TechnologyNode, reverse_body_bias: float) -> float:
+    """Leakage multiplier from GIDL under reverse body bias (>= 1).
+
+    ``reverse_body_bias`` is the magnitude (V) of the substrate bias applied
+    by an RBB/ABB-MTCMOS scheme.  The exponential growth with bias is what
+    erodes RBB's benefit at 70 nm: raising Vth suppresses subthreshold
+    leakage but the drain-junction GIDL component grows until it dominates.
+    """
+    if reverse_body_bias < 0:
+        raise ValueError(
+            f"reverse body bias is a magnitude, got {reverse_body_bias}"
+        )
+    # GIDL scales with how aggressively the junction field grows; smaller
+    # nodes are more sensitive (thinner oxides, sharper profiles).
+    scale = 70.0 / node.feature_nm
+    return math.exp(GIDL_BIAS_COEFF * scale * reverse_body_bias)

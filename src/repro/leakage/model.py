@@ -1,0 +1,119 @@
+"""The HotLeakage facade (paper Section 3.4).
+
+One object holds the operating point (technology node, supply voltage,
+temperature, variation setting) and hands out structure models computed at
+that point.  Its defining feature — the reason the paper built HotLeakage
+instead of using Butts-Sohi constants — is *dynamic recalculation*: calling
+:meth:`HotLeakage.set_temperature` or :meth:`HotLeakage.set_vdd` (e.g. from
+a DVS controller or a thermal model) invalidates the cached structure
+models, and the next query re-derives every leakage current at the new
+point.
+
+Typical use::
+
+    hot = HotLeakage(node="70nm", vdd=0.9, temp_c=110)
+    dcache = hot.cache_model(L1D_GEOMETRY)
+    p_line = dcache.line_powers(standby_fraction=dcache.gated_fraction)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.leakage.bsim3 import unit_leakage
+from repro.leakage.structures import (
+    CacheGeometry,
+    CacheLeakageModel,
+    RegFileGeometry,
+    RegFileLeakageModel,
+)
+from repro.tech.constants import celsius_to_kelvin
+from repro.tech.nodes import TechnologyNode, get_node
+from repro.tech.variation import VariationSpec
+
+
+@dataclass
+class HotLeakage:
+    """Configured leakage model with dynamic (T, Vdd) recalculation."""
+
+    node: TechnologyNode
+    vdd: float
+    temp_k: float
+    variation: VariationSpec | None = None
+    _cache_models: dict[CacheGeometry, CacheLeakageModel] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __init__(
+        self,
+        node: str | TechnologyNode = "70nm",
+        *,
+        vdd: float | None = None,
+        temp_c: float | None = None,
+        temp_k: float | None = None,
+        variation: VariationSpec | None = None,
+    ) -> None:
+        self.node = get_node(node) if isinstance(node, str) else node
+        self.vdd = self.node.vdd0 if vdd is None else vdd
+        if temp_k is not None and temp_c is not None:
+            raise ValueError("pass temp_c or temp_k, not both")
+        if temp_k is not None:
+            self.temp_k = temp_k
+        elif temp_c is not None:
+            self.temp_k = celsius_to_kelvin(temp_c)
+        else:
+            self.temp_k = celsius_to_kelvin(110.0)  # the paper's hot point
+        if self.vdd <= 0:
+            raise ValueError(f"vdd must be positive, got {self.vdd}")
+        self.variation = variation
+        self._cache_models = {}
+
+    # ------------------------------------------------------------------
+    # Dynamic operating-point updates
+    # ------------------------------------------------------------------
+
+    def set_temperature(self, *, temp_c: float | None = None, temp_k: float | None = None) -> None:
+        """Change the temperature; all structure models are recomputed."""
+        if (temp_c is None) == (temp_k is None):
+            raise ValueError("pass exactly one of temp_c / temp_k")
+        self.temp_k = celsius_to_kelvin(temp_c) if temp_c is not None else temp_k
+        self._cache_models.clear()
+
+    def set_vdd(self, vdd: float) -> None:
+        """Change the supply voltage (DVS hook); models are recomputed."""
+        if vdd <= 0:
+            raise ValueError(f"vdd must be positive, got {vdd}")
+        self.vdd = vdd
+        self._cache_models.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def unit_leakage(self, *, pmos: bool = False) -> float:
+        """Equation-2 unit leakage (A) at the current operating point."""
+        return unit_leakage(self.node, vdd=self.vdd, temp_k=self.temp_k, pmos=pmos)
+
+    def cache_model(self, geometry: CacheGeometry) -> CacheLeakageModel:
+        """Structure model for a cache; cached until the point changes."""
+        model = self._cache_models.get(geometry)
+        if model is None:
+            model = CacheLeakageModel(
+                geometry=geometry,
+                node=self.node,
+                vdd=self.vdd,
+                temp_k=self.temp_k,
+                variation=self.variation,
+            )
+            self._cache_models[geometry] = model
+        return model
+
+    def regfile_model(self, geometry: RegFileGeometry | None = None) -> RegFileLeakageModel:
+        """Structure model for a register file."""
+        return RegFileLeakageModel(
+            geometry=geometry or RegFileGeometry(),
+            node=self.node,
+            vdd=self.vdd,
+            temp_k=self.temp_k,
+            variation=self.variation,
+        )

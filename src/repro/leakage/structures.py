@@ -1,0 +1,293 @@
+"""Structure-level leakage: caches and register files (paper Section 3.4).
+
+HotLeakage "dynamically tracks leakage for each cell of interest and this
+information is then translated into leakage at the architecture level";
+caches and register files are the structures it ships models for.  This
+module maps a cache geometry to cell populations (data bits, tag bits,
+edge logic) and exposes the per-line leakage powers that the cycle-level
+simulator integrates: active, drowsy-standby and gated-standby, for both
+the data and the tag portion of a line.
+
+The standby residuals are not hand-picked constants — they come from the
+transistor-level derivations in :mod:`repro.circuits.library`
+(``drowsy_residual_fraction``, ``gated_residual_fraction``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.circuits.library import (
+    drowsy_residual_fraction,
+    drowsy_supply_voltage,
+    gated_residual_fraction,
+)
+from repro.leakage.cells import SRAMCellModel, logic_cell
+from repro.tech.constants import thermal_voltage
+from repro.tech.nodes import TechnologyNode
+from repro.tech.variation import (
+    IntraDieSpec,
+    LineLeakageSpread,
+    VariationSpec,
+    intra_die_line_spread,
+)
+
+ADDRESS_BITS = 44
+"""Physical address width (Alpha 21264-class machine)."""
+
+STATUS_BITS_PER_LINE = 3
+"""Valid + dirty + per-line decay-counter storage overhead rolled into tags."""
+
+
+def _log2_int(value: int, what: str) -> int:
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{what} must be a positive power of two, got {value}")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of a set-associative cache.
+
+    Attributes:
+        size_bytes: Total data capacity.
+        assoc: Associativity (ways).
+        line_bytes: Line (block) size in bytes.
+    """
+
+    size_bytes: int
+    assoc: int
+    line_bytes: int
+
+    def __post_init__(self) -> None:
+        _log2_int(self.line_bytes, "line_bytes")
+        if self.size_bytes % (self.assoc * self.line_bytes):
+            raise ValueError(
+                f"cache size {self.size_bytes} not divisible by "
+                f"assoc*line = {self.assoc * self.line_bytes}"
+            )
+        _log2_int(self.n_sets, "derived set count")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.assoc * self.line_bytes)
+
+    @property
+    def n_lines(self) -> int:
+        return self.n_sets * self.assoc
+
+    @property
+    def offset_bits(self) -> int:
+        return _log2_int(self.line_bytes, "line_bytes")
+
+    @property
+    def index_bits(self) -> int:
+        return _log2_int(self.n_sets, "set count")
+
+    @property
+    def tag_bits(self) -> int:
+        return ADDRESS_BITS - self.index_bits - self.offset_bits
+
+    @property
+    def data_bits_per_line(self) -> int:
+        return self.line_bytes * 8
+
+    @property
+    def tag_cells_per_line(self) -> int:
+        return self.tag_bits + STATUS_BITS_PER_LINE
+
+
+# Paper Table 2 geometries.
+L1D_GEOMETRY = CacheGeometry(size_bytes=64 * 1024, assoc=2, line_bytes=64)
+L1I_GEOMETRY = CacheGeometry(size_bytes=64 * 1024, assoc=2, line_bytes=64)
+L2_GEOMETRY = CacheGeometry(size_bytes=2 * 1024 * 1024, assoc=2, line_bytes=64)
+
+
+@dataclass(frozen=True)
+class LinePowers:
+    """Leakage power (W) of one cache line in each mode.
+
+    ``data_*`` covers the line's data bits, ``tag_*`` its tag + status bits.
+    "Standby" is technique-specific (drowsy retention vs gated-off), so a
+    separate instance is produced per technique.
+    """
+
+    data_active: float
+    data_standby: float
+    tag_active: float
+    tag_standby: float
+
+    @property
+    def line_active(self) -> float:
+        return self.data_active + self.tag_active
+
+    @property
+    def line_standby(self) -> float:
+        return self.data_standby + self.tag_standby
+
+
+@dataclass
+class CacheLeakageModel:
+    """Leakage of one cache at a given (node, Vdd, T) operating point.
+
+    All powers are recomputed if the operating point changes — construct via
+    :class:`repro.leakage.model.HotLeakage`, which caches per point.
+
+    Attributes:
+        geometry: Cache organisation.
+        node: Technology preset.
+        vdd: Supply voltage.
+        temp_k: Temperature (K).
+        variation: Optional inter-die variation to fold into unit leakages.
+        access_vth_shift: Optional high-Vt access transistors (drowsy
+            paper's variant; the reproduced comparison keeps this at 0).
+    """
+
+    geometry: CacheGeometry
+    node: TechnologyNode
+    vdd: float
+    temp_k: float
+    variation: VariationSpec | None = None
+    access_vth_shift: float = 0.0
+
+    @cached_property
+    def _sram(self) -> SRAMCellModel:
+        return SRAMCellModel(node=self.node, access_vth_shift=self.access_vth_shift)
+
+    @cached_property
+    def cell_power(self) -> float:
+        """Static power (W) of one active SRAM bit."""
+        return self._sram.power(
+            vdd=self.vdd, temp_k=self.temp_k, variation=self.variation
+        )
+
+    @cached_property
+    def drowsy_fraction(self) -> float:
+        """Residual power fraction of a bit held at the drowsy voltage."""
+        return drowsy_residual_fraction(self.node, vdd=self.vdd, temp_k=self.temp_k)
+
+    @cached_property
+    def gated_fraction(self) -> float:
+        """Residual power fraction of a bit whose ground is gated off."""
+        return gated_residual_fraction(self.node, vdd=self.vdd, temp_k=self.temp_k)
+
+    @property
+    def drowsy_vdd(self) -> float:
+        """The drowsy retention supply (~1.5x Vth)."""
+        return drowsy_supply_voltage(self.node)
+
+    def line_powers(self, standby_fraction: float) -> LinePowers:
+        """Per-line powers for a technique with the given standby residual."""
+        data_active = self.geometry.data_bits_per_line * self.cell_power
+        tag_active = self.geometry.tag_cells_per_line * self.cell_power
+        return LinePowers(
+            data_active=data_active,
+            data_standby=data_active * standby_fraction,
+            tag_active=tag_active,
+            tag_standby=tag_active * standby_fraction,
+        )
+
+    @cached_property
+    def edge_logic_power(self) -> float:
+        """Leakage power (W) of decoders, drivers and sense amps.
+
+        Populations scale with geometry: one NAND3-based decode gate per
+        row plus a wordline-driver inverter, and a sense-amp (approximated
+        as four inverters) plus a precharge/write driver pair per column.
+        Edge logic is not put in standby by either technique (the paper's
+        per-line techniques gate the SRAM rows only), so this is a common
+        term for baseline and techniques alike.
+        """
+        nand = logic_cell(self.node, "nand3")
+        inv = logic_cell(self.node, "inv")
+        rows = self.geometry.n_sets
+        cols = self.geometry.assoc * (
+            self.geometry.data_bits_per_line + self.geometry.tag_cells_per_line
+        )
+        per_row = nand.power(
+            vdd=self.vdd, temp_k=self.temp_k, variation=self.variation
+        ) + inv.power(vdd=self.vdd, temp_k=self.temp_k, variation=self.variation)
+        per_col = 6.0 * inv.power(
+            vdd=self.vdd, temp_k=self.temp_k, variation=self.variation
+        )
+        return rows * per_row + cols * per_col
+
+    def total_power_all_active(self) -> float:
+        """Baseline cache leakage power (W): every line awake, plus edge."""
+        per_line = self.line_powers(standby_fraction=1.0)
+        return self.geometry.n_lines * per_line.line_active + self.edge_logic_power
+
+    def array_power_all_active(self) -> float:
+        """SRAM-array-only leakage power (W), excluding edge logic."""
+        per_line = self.line_powers(standby_fraction=1.0)
+        return self.geometry.n_lines * per_line.line_active
+
+    def tag_share(self) -> float:
+        """Fraction of array leakage in the tags (paper quotes 5-10 %)."""
+        g = self.geometry
+        return g.tag_cells_per_line / (g.tag_cells_per_line + g.data_bits_per_line)
+
+    def intra_die_spread(
+        self, spec: IntraDieSpec | None = None
+    ) -> LineLeakageSpread:
+        """Line-to-line leakage spread from within-die mismatch.
+
+        The paper's declared future work (Section 3.3): intra-die
+        variation "contributes to the mismatch behavior between
+        structures on the same chip".  Returns multipliers relative to
+        the mismatch-free line; ``mean > 1`` is the convexity uplift, and
+        the p95/p99/worst columns bound the hottest lines — relevant to
+        per-line techniques because a decayed worst-case line saves
+        proportionally more.
+        """
+        cells = 3 * (
+            self.geometry.data_bits_per_line + self.geometry.tag_cells_per_line
+        )  # ~3 leaking devices per 6T bit in retention
+        slope = self.node.subthreshold_swing_n * thermal_voltage(self.temp_k)
+        return intra_die_line_spread(
+            vth_nominal=self.node.vth_n,
+            subthreshold_slope_v=slope,
+            cells_per_line=cells,
+            spec=spec,
+        )
+
+
+@dataclass(frozen=True)
+class RegFileGeometry:
+    """Register-file organisation (HotLeakage's second shipped structure)."""
+
+    n_regs: int = 80
+    width_bits: int = 64
+    read_ports: int = 8
+    write_ports: int = 4
+
+    @property
+    def n_cells(self) -> int:
+        return self.n_regs * self.width_bits
+
+
+@dataclass
+class RegFileLeakageModel:
+    """Leakage of a multiported register file.
+
+    Each additional port adds two access transistors per cell; leakage per
+    cell is scaled accordingly relative to the 2-port 6T baseline.
+    """
+
+    geometry: RegFileGeometry
+    node: TechnologyNode
+    vdd: float
+    temp_k: float
+    variation: VariationSpec | None = None
+
+    def total_power(self) -> float:
+        """Static power (W) of the whole register file."""
+        sram = SRAMCellModel(node=self.node)
+        base = sram.power(vdd=self.vdd, temp_k=self.temp_k, variation=self.variation)
+        ports = self.geometry.read_ports + self.geometry.write_ports
+        # 6T baseline has 2 ports; each extra port adds ~2 access devices
+        # out of 6, i.e. ~1/3 of the cell's leakage.
+        port_scale = 1.0 + max(ports - 2, 0) / 3.0
+        return self.geometry.n_cells * base * port_scale

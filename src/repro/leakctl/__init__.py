@@ -1,0 +1,49 @@
+"""Cache leakage-control techniques (the paper's subject matter)."""
+
+from repro.leakctl.adaptive import AdaptiveControlledCache
+from repro.leakctl.base import (
+    DROWSY_SLEEP_CYCLES,
+    DROWSY_WAKE_CYCLES,
+    GATED_SLEEP_CYCLES,
+    GATED_WAKE_CYCLES,
+    DecayPolicy,
+    TechniqueConfig,
+    TechniqueKind,
+    drowsy_technique,
+    gated_vss_technique,
+    rbb_technique,
+)
+from repro.leakctl.controlled import AccessOutcome, ControlledCache, StandbyStats
+from repro.leakctl.energy import (
+    EVENT_TIME_SCALE,
+    L2_HIGH_VT_LEAKAGE_FACTOR,
+    NetSavingsResult,
+    baseline_leakage_energy,
+    net_savings,
+    technique_leakage_energy,
+    uncontrolled_leakage_power,
+)
+
+__all__ = [
+    "TechniqueConfig",
+    "TechniqueKind",
+    "DecayPolicy",
+    "drowsy_technique",
+    "gated_vss_technique",
+    "rbb_technique",
+    "DROWSY_WAKE_CYCLES",
+    "DROWSY_SLEEP_CYCLES",
+    "GATED_WAKE_CYCLES",
+    "GATED_SLEEP_CYCLES",
+    "ControlledCache",
+    "AdaptiveControlledCache",
+    "AccessOutcome",
+    "StandbyStats",
+    "NetSavingsResult",
+    "net_savings",
+    "baseline_leakage_energy",
+    "technique_leakage_energy",
+    "uncontrolled_leakage_power",
+    "EVENT_TIME_SCALE",
+    "L2_HIGH_VT_LEAKAGE_FACTOR",
+]

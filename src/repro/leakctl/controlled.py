@@ -1,0 +1,430 @@
+"""The leakage-controlled L1 data cache.
+
+Composes the plain cache mechanisms with a decay policy and a technique
+model.  This is where the paper's behavioural asymmetries live:
+
+* **drowsy** standby preserves data: an access to a standby line is a
+  *slow hit* (wake tags + data, >= 3 cycles with drowsy tags); a *true
+  miss* in a set with standby tags must first wake those tags before the
+  L2 access can begin — the drowsy disadvantage on the common case;
+* **gated-Vss** standby loses data: deactivation writes back a dirty line
+  and invalidates it; an access that would have hit becomes an *induced
+  miss* served by the L2; a true miss whose candidate ways are all in
+  standby skips the tag check and starts the L2 access early — the gated
+  advantage on the common case.
+
+Leakage is integrated exactly as a piecewise-constant function of the
+standby population: `standby_line_cycles` accumulates lazily on every
+population change, with the Table-1 settling time charged at full (active)
+leakage by debiting ``sleep_cycles`` at deactivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.blocks import LineMode
+from repro.cache.cache import Cache, Victim
+from repro.leakctl.base import DecayPolicy, TechniqueConfig, TechniqueKind
+from repro.power.wattch import EnergyAccountant
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Result of a controlled-cache lookup, before any L2 involvement.
+
+    Attributes:
+        hit: Data served from L1 (normal hit or drowsy slow hit).
+        extra_latency: Cycles added on top of the base L1 hit latency
+            (slow-hit wakeups, settle waits, tag wakes on misses).
+        induced: The miss was induced by decay (data was resident and
+            would have hit).  Only possible for non-state-preserving
+            techniques.
+        tag_check_saving: Cycles saved on this miss because every candidate
+            way was in (information-free) gated standby.
+        victim: Dirty line displaced by the fill, if the caller fills.
+    """
+
+    hit: bool
+    extra_latency: int = 0
+    induced: bool = False
+    tag_check_saving: int = 0
+    fill_ready_cycle: int = 0
+
+
+@dataclass
+class StandbyStats:
+    """Leakage-integration and event statistics for one run."""
+
+    standby_line_cycles: float = 0.0
+    total_cycles: int = 0
+    accesses: int = 0
+    hits: int = 0
+    slow_hits: int = 0
+    true_misses: int = 0
+    induced_misses: int = 0
+    deactivations: int = 0
+    wakeups: int = 0
+    decay_writebacks: int = 0
+    tag_wake_misses: int = 0
+    tag_skip_misses: int = 0
+
+    def turnoff_ratio(self, n_lines: int) -> float:
+        """Average fraction of lines in standby over the run."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return max(self.standby_line_cycles, 0.0) / (n_lines * self.total_cycles)
+
+
+class ControlledCache:
+    """L1 D-cache wrapped with a leakage-control technique.
+
+    Args:
+        cache: The underlying plain cache (geometry + LRU + tags).
+        technique: Which leakage-control technique to apply.
+        decay_interval: Idle time (cycles) after which a line decays.
+        policy: ``noaccess`` (per-line counters) or ``simple`` (blanket).
+        accountant: Dynamic-energy accountant to charge technique costs to.
+        decay_writeback_event: Energy event charged when a dirty line is
+            written back at decay — ``"l2_writeback"`` for an L1 under
+            control (the default), ``"mem_access"`` when the controlled
+            cache is the L2 itself (its victims go to memory).
+        bank_sets: Decay granularity in *sets* (paper Section 2.3: control
+            "can be done at various granularities").  1 (default) is the
+            per-row/per-line granularity of the paper; larger values gang
+            ``bank_sets`` contiguous sets behind one sleep rail — the bank
+            deactivates only when every line in it has sat idle the full
+            interval, and touching anything in a standby bank wakes the
+            whole bank.
+    """
+
+    def __init__(
+        self,
+        cache: Cache,
+        technique: TechniqueConfig,
+        *,
+        decay_interval: int,
+        policy: DecayPolicy = DecayPolicy.NOACCESS,
+        accountant: EnergyAccountant | None = None,
+        decay_writeback_event: str = "l2_writeback",
+        bank_sets: int = 1,
+    ) -> None:
+        if decay_interval < 8:
+            raise ValueError(f"decay interval too small: {decay_interval}")
+        if bank_sets < 1 or cache.geometry.n_sets % bank_sets:
+            raise ValueError(
+                f"bank_sets must divide the set count "
+                f"({cache.geometry.n_sets}), got {bank_sets}"
+            )
+        self.cache = cache
+        self.technique = technique
+        self.decay_interval = decay_interval
+        self.policy = policy
+        self.accountant = accountant
+        self.decay_writeback_event = decay_writeback_event
+        self.bank_sets = bank_sets
+        # Optional occupancy telemetry: (cycle, n_standby) samples taken at
+        # every global decay tick when enabled via record_occupancy().
+        self._occupancy_trace: list[tuple[int, int]] | None = None
+        g = cache.geometry
+        # Ghost tags let gated-Vss classify induced misses (and stand in for
+        # the "tags used to facilitate adaptivity" of Section 5.3).
+        self._ghost_tags: list[list[int | None]] = [
+            [None] * g.assoc for _ in range(g.n_sets)
+        ]
+        self._n_standby = 0
+        self._last_integrate_cycle = 0
+        self._tick_period = max(decay_interval // 4, 1)
+        if policy is DecayPolicy.SIMPLE:
+            self._tick_period = decay_interval
+        self._next_tick = self._tick_period
+        self.stats = StandbyStats()
+
+    # ------------------------------------------------------------------
+    # Leakage integration
+    # ------------------------------------------------------------------
+
+    def _integrate(self, cycle: int) -> None:
+        if cycle > self._last_integrate_cycle:
+            self.stats.standby_line_cycles += self._n_standby * (
+                cycle - self._last_integrate_cycle
+            )
+            self._last_integrate_cycle = cycle
+
+    def finalize(self, cycle: int) -> None:
+        """Close the integration at the end of the run."""
+        self.advance(cycle)
+        self._integrate(cycle)
+        self.stats.total_cycles = cycle
+
+    # ------------------------------------------------------------------
+    # Decay machinery
+    # ------------------------------------------------------------------
+
+    def record_occupancy(self) -> None:
+        """Start sampling the standby population at every global tick.
+
+        The trace is available as :attr:`occupancy_trace` — one
+        ``(cycle, lines_in_standby)`` pair per decay tick — and is the
+        hook for plotting turnoff dynamics outside this package.
+        """
+        if self._occupancy_trace is None:
+            self._occupancy_trace = []
+
+    @property
+    def occupancy_trace(self) -> list[tuple[int, int]]:
+        """Sampled ``(cycle, n_standby)`` pairs (see record_occupancy)."""
+        return list(self._occupancy_trace or ())
+
+    def advance(self, cycle: int) -> None:
+        """Process all global-counter expiries up to ``cycle`` (lazy)."""
+        while self._next_tick <= cycle:
+            self._integrate(self._next_tick)
+            if self.policy is DecayPolicy.NOACCESS:
+                self._noaccess_tick(self._next_tick)
+            else:
+                self._simple_tick(self._next_tick)
+            if self._occupancy_trace is not None:
+                self._occupancy_trace.append((self._next_tick, self._n_standby))
+            self._next_tick += self._tick_period
+
+    def _noaccess_tick(self, cycle: int) -> None:
+        n_lines = self.cache.geometry.n_lines
+        if self.accountant is not None:
+            self.accountant.add("decay_counter_tick", n_lines)
+        if self.bank_sets == 1:
+            for set_idx, ways in enumerate(self.cache.lines):
+                for way, line in enumerate(ways):
+                    if line.mode is not LineMode.ACTIVE:
+                        continue
+                    # Invalid lines hold nothing worth keeping powered:
+                    # they decay through the same counters (a freshly-
+                    # evicted or never-filled row is idle by definition).
+                    if line.decay_counter >= 3:
+                        self._deactivate(set_idx, way, cycle)
+                    else:
+                        line.decay_counter += 1
+            return
+        # Bank granularity: a bank goes down only when every active line
+        # in it has a saturated counter.
+        n_sets = self.cache.geometry.n_sets
+        for bank_start in range(0, n_sets, self.bank_sets):
+            bank = range(bank_start, bank_start + self.bank_sets)
+            all_idle = True
+            any_active = False
+            for set_idx in bank:
+                for line in self.cache.lines[set_idx]:
+                    if line.mode is LineMode.ACTIVE:
+                        any_active = True
+                        if line.decay_counter < 3:
+                            all_idle = False
+            if any_active and all_idle:
+                for set_idx in bank:
+                    for way, line in enumerate(self.cache.lines[set_idx]):
+                        if line.mode is LineMode.ACTIVE:
+                            self._deactivate(set_idx, way, cycle)
+            else:
+                for set_idx in bank:
+                    for line in self.cache.lines[set_idx]:
+                        if (
+                            line.mode is LineMode.ACTIVE
+                            and line.decay_counter < 3
+                        ):
+                            line.decay_counter += 1
+
+    def _wake_bank_of(self, set_idx: int, cycle: int) -> None:
+        """Wake every standby line sharing the set's bank rail."""
+        if self.bank_sets == 1:
+            return
+        bank_start = (set_idx // self.bank_sets) * self.bank_sets
+        for s in range(bank_start, bank_start + self.bank_sets):
+            for way, line in enumerate(self.cache.lines[s]):
+                if line.mode is not LineMode.ACTIVE:
+                    self._wake(s, way, cycle)
+
+    def _simple_tick(self, cycle: int) -> None:
+        for set_idx, ways in enumerate(self.cache.lines):
+            for way, line in enumerate(ways):
+                if line.mode is LineMode.ACTIVE:
+                    self._deactivate(set_idx, way, cycle)
+
+    def _deactivate(self, set_idx: int, way: int, cycle: int) -> None:
+        line = self.cache.lines[set_idx][way]
+        tech = self.technique
+        line.mode = LineMode.GOING_STANDBY
+        line.mode_ready_cycle = cycle + tech.sleep_cycles
+        self._n_standby += 1
+        # The settle period leaks at full power: debit it from the standby
+        # integral so [decay, wake] - sleep_cycles is counted as standby.
+        self.stats.standby_line_cycles -= tech.sleep_cycles
+        self.stats.deactivations += 1
+        if self.accountant is not None:
+            self.accountant.add("mode_transition")
+        if not tech.state_preserving and line.valid:
+            # Gated-Vss: contents are lost.  Write back dirty data first,
+            # remember the tag so a later touch is classified as induced.
+            if line.dirty:
+                self.stats.decay_writebacks += 1
+                if self.accountant is not None:
+                    self.accountant.add(self.decay_writeback_event)
+            self._ghost_tags[set_idx][way] = line.tag
+            line.valid = False
+            line.dirty = False
+
+    def _wake(self, set_idx: int, way: int, cycle: int) -> None:
+        line = self.cache.lines[set_idx][way]
+        if line.mode is LineMode.ACTIVE:
+            return
+        self._integrate(cycle)
+        line.mode = LineMode.ACTIVE
+        line.decay_counter = 0
+        self._n_standby -= 1
+        self.stats.wakeups += 1
+        if self.accountant is not None:
+            self.accountant.add("mode_transition")
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+
+    def access(self, addr: int, *, is_write: bool, cycle: int) -> AccessOutcome:
+        """Look up ``addr``; on a miss the caller must go to L2 then fill.
+
+        Returns the outcome with the technique's latency adjustments; does
+        not itself perform the fill (the memory hierarchy knows the L2
+        timing and energy).
+        """
+        self.advance(cycle)
+        self._integrate(cycle)
+        self.stats.accesses += 1
+        self.cache.stats.accesses += 1
+        set_idx, tag, way = self.cache.probe(addr)
+        tech = self.technique
+
+        if way is not None:
+            line = self.cache.lines[set_idx][way]
+            extra = 0
+            if line.mode is not LineMode.ACTIVE:
+                # Wait out a settle in progress, then pay the wake penalty.
+                if line.mode is LineMode.GOING_STANDBY and cycle < line.mode_ready_cycle:
+                    extra += line.mode_ready_cycle - cycle
+                extra += tech.slow_hit_cycles
+                self._wake(set_idx, way, cycle + extra)
+                self._wake_bank_of(set_idx, cycle + extra)
+                self.stats.slow_hits += 1
+            else:
+                line.decay_counter = 0
+                self.stats.hits += 1
+            self.cache.stats.hits += 1
+            self.cache.touch(set_idx, way, is_write=is_write)
+            return AccessOutcome(hit=True, extra_latency=extra)
+
+        # Miss path.
+        self.cache.stats.misses += 1
+        induced = False
+        if not tech.state_preserving:
+            ghost_way = self._find_ghost(set_idx, tag)
+            if ghost_way is not None:
+                induced = True
+                self.stats.induced_misses += 1
+                self._ghost_tags[set_idx][ghost_way] = None
+        if not induced:
+            self.stats.true_misses += 1
+
+        extra = 0
+        saving = 0
+        standby_ways = [
+            w
+            for w, line in enumerate(self.cache.lines[set_idx])
+            if line.mode is not LineMode.ACTIVE
+        ]
+        if tech.state_preserving and tech.decay_tags and standby_ways:
+            # Drowsy: standby tags must be woken (not the data) before the
+            # miss is confirmed and the L2 access can start.
+            extra += tech.wake_cycles
+            self.stats.tag_wake_misses += 1
+            if self.accountant is not None:
+                self.accountant.add("tag_wake")
+        if not tech.state_preserving:
+            active_valid = any(
+                line.valid and line.mode is LineMode.ACTIVE
+                for line in self.cache.lines[set_idx]
+            )
+            if not active_valid:
+                # Every candidate way is information-free: no tag check is
+                # needed at all (vs drowsy's mandatory tag wake above).
+                saving = tech.miss_tag_skip_saving
+                self.stats.tag_skip_misses += 1
+
+        # If the way the fill will land in is still settling into standby
+        # (gated-Vss's 30-cycle sleep), the refill must wait for the rail —
+        # the reason gated-Vss is "more sensitive to small decay intervals".
+        victim_way = self.cache.choose_victim(set_idx)
+        victim_line = self.cache.lines[set_idx][victim_way]
+        fill_ready = 0
+        if (
+            victim_line.mode is LineMode.GOING_STANDBY
+            and victim_line.mode_ready_cycle > cycle
+        ):
+            fill_ready = victim_line.mode_ready_cycle + tech.wake_cycles
+
+        return AccessOutcome(
+            hit=False,
+            extra_latency=extra,
+            induced=induced,
+            tag_check_saving=saving,
+            fill_ready_cycle=fill_ready,
+        )
+
+    def _find_ghost(self, set_idx: int, tag: int) -> int | None:
+        for way, ghost in enumerate(self._ghost_tags[set_idx]):
+            if ghost == tag:
+                return way
+        return None
+
+    def fill(self, addr: int, *, is_write: bool, cycle: int) -> Victim | None:
+        """Install the line after the L2 returned data.
+
+        The victim way is woken if it was in standby (replacement writes
+        require a powered row); state-preserving victims may carry dirty
+        data that must be written back (returned to the caller).
+        """
+        self._integrate(cycle)
+        set_idx, tag = self.cache.slice_addr(addr)
+        way = self.cache.choose_victim(set_idx)
+        line = self.cache.lines[set_idx][way]
+        if line.mode is not LineMode.ACTIVE:
+            self._wake(set_idx, way, cycle)
+            self._wake_bank_of(set_idx, cycle)
+        self._ghost_tags[set_idx][way] = None
+        victim: Victim | None = None
+        if line.valid and line.dirty:
+            victim = Victim(
+                addr=self.cache.line_addr_of(set_idx, line.tag), dirty=True
+            )
+            self.cache.stats.writebacks += 1
+        line.tag = tag
+        line.valid = True
+        line.dirty = is_write
+        line.decay_counter = 0
+        self.cache.touch(set_idx, way)
+        return victim
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n_standby(self) -> int:
+        """Lines currently in (or settling into) standby."""
+        return self._n_standby
+
+    def standby_population_check(self) -> bool:
+        """Invariant: the incremental count matches a full scan."""
+        scan = sum(
+            1
+            for ways in self.cache.lines
+            for line in ways
+            if line.mode is not LineMode.ACTIVE
+        )
+        return scan == self._n_standby

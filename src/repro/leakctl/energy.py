@@ -1,0 +1,311 @@
+"""Net-savings accounting (paper Section 2.3 and Section 5.1).
+
+The figures report *net* cache-leakage savings: the leakage avoided by
+holding lines in standby, minus every cost the technique introduces —
+
+1. dynamic power of the decay counters,
+2. leakage of the extra hardware (counters; small, folded into #1's
+   events and the status bits carried in the tag array),
+3. dynamic power of mode transitions,
+4. dynamic power of extra execution time, extra L2 accesses (gated) and
+   extra tag wakeups (drowsy).
+
+Following the paper, the costs are obtained by *differencing two runs*:
+the technique run's dynamic energy minus the baseline run's (Wattch
+"automatically captures the extra energy due to longer runtime"), plus the
+leakage integral over the technique run's (longer) duration.  Everything
+is normalised to the baseline D-cache leakage energy, which is what the
+figures' percentages mean.
+
+**Time-compression correction.**  Our synthetic runs compress the paper's
+500 M-instruction windows into tens of thousands of micro-ops, which
+compresses line dead-times and therefore inflates the *rate* of
+technique events (decays, writebacks, induced misses, slow hits) per
+cycle by roughly ``EVENT_TIME_SCALE`` relative to the paper's workloads
+(estimated by matching the paper's per-cycle slow-hit/induced-miss rates
+implied by its ~1.3 % performance losses).  Per-*cycle* quantities
+(leakage power, conditional-clock power) are unaffected by compression,
+so the correction divides only the *event* part of the dynamic overhead
+by ``EVENT_TIME_SCALE``, leaving runtime-proportional costs at full
+weight.  Set ``event_time_scale=1`` to disable (ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.leakage.structures import CacheLeakageModel
+from repro.leakctl.base import TechniqueConfig
+from repro.leakctl.controlled import StandbyStats
+from repro.power.wattch import EnergyAccountant
+
+EVENT_TIME_SCALE = 5.0
+"""Dead-time compression factor of the synthetic workloads (see module
+docstring); divides event-based dynamic overheads in the net-savings
+metric."""
+
+L2_HIGH_VT_LEAKAGE_FACTOR = 0.12
+"""The L2 is built from leakage-optimised (high-Vt, longer-channel) cells,
+so its per-cell leakage is an order of magnitude below the fast low-Vt L1
+array the techniques target.  This factor scales the L1-cell-based L2
+leakage estimate when computing the uncontrolled-structure power that
+extra runtime must pay for."""
+
+
+def uncontrolled_leakage_power(
+    model: CacheLeakageModel, *, controlled: str = "l1d"
+) -> float:
+    """Leakage power (W) of structures the technique does not control.
+
+    Extra execution time is not free even where dynamic power is clock
+    gated: the caches the technique does *not* manage and the register
+    file keep leaking for every added cycle.  This is the dominant energy
+    cost of performance loss — the reason the paper's gated-Vss results
+    deteriorate as L2 latency grows.
+
+    Args:
+        model: The leakage model of the *controlled* structure (sets the
+            per-cell leakage operating point).
+        controlled: Which cache the technique manages (``"l1d"``,
+            ``"l1i"`` or ``"l2"``); the others are charged here.  The L2
+            is built from high-Vt cells (see
+            :data:`L2_HIGH_VT_LEAKAGE_FACTOR`), whether controlled or not.
+    """
+    from repro.leakage.structures import (
+        CacheLeakageModel as _Model,
+        L1D_GEOMETRY,
+        L1I_GEOMETRY,
+        L2_GEOMETRY,
+        RegFileGeometry,
+        RegFileLeakageModel,
+    )
+
+    if controlled not in ("l1d", "l1i", "l2"):
+        raise ValueError(f"unknown controlled structure {controlled!r}")
+
+    def cells_of(geometry) -> int:
+        return geometry.n_lines * (
+            geometry.data_bits_per_line + geometry.tag_cells_per_line
+        )
+
+    # Per-cell leakage at the operating point, from a low-Vt L1-class
+    # reference model (the controlled model may itself be high-Vt).
+    reference = _Model(
+        geometry=L1D_GEOMETRY,
+        node=model.node if controlled != "l2" else _l1_node_of(model.node),
+        vdd=model.vdd,
+        temp_k=model.temp_k,
+        variation=model.variation,
+    )
+    per_cell = reference.array_power_all_active() / cells_of(L1D_GEOMETRY)
+
+    total = 0.0
+    if controlled != "l1d":
+        total += per_cell * cells_of(L1D_GEOMETRY)
+    if controlled != "l1i":
+        total += per_cell * cells_of(L1I_GEOMETRY)
+    if controlled != "l2":
+        total += per_cell * cells_of(L2_GEOMETRY) * L2_HIGH_VT_LEAKAGE_FACTOR
+    total += RegFileLeakageModel(
+        geometry=RegFileGeometry(),
+        node=reference.node,
+        vdd=model.vdd,
+        temp_k=model.temp_k,
+        variation=model.variation,
+    ).total_power()
+    return total
+
+
+def _l1_node_of(node):
+    """Undo the high-Vt L2 threshold shift to recover the L1 cell node."""
+    from repro.leakctl.base import L2_CELL_VTH_SHIFT
+
+    return node.with_overrides(
+        vth_n=node.vth_n - L2_CELL_VTH_SHIFT,
+        vth_p=node.vth_p - L2_CELL_VTH_SHIFT,
+    )
+
+
+def baseline_leakage_energy(
+    model: CacheLeakageModel, cycles: int, frequency_hz: float
+) -> float:
+    """D-cache leakage energy (J) of a baseline run: all lines active."""
+    seconds = cycles / frequency_hz
+    return model.total_power_all_active() * seconds
+
+
+def technique_leakage_energy(
+    model: CacheLeakageModel,
+    technique: TechniqueConfig,
+    stats: StandbyStats,
+    frequency_hz: float,
+) -> float:
+    """D-cache leakage energy (J) integrated over a technique run.
+
+    Uses the exact piecewise-constant standby population recorded by the
+    controlled cache.  When tags are kept awake (Section 5.3 ablation) the
+    tag array never enters standby and its full leakage is charged.
+    """
+    n_lines = model.geometry.n_lines
+    cycles = stats.total_cycles
+    standby_lc = min(max(stats.standby_line_cycles, 0.0), float(n_lines * cycles))
+    active_lc = n_lines * cycles - standby_lc
+    powers = model.line_powers(technique.standby_fraction(model))
+
+    data = active_lc * powers.data_active + standby_lc * powers.data_standby
+    if technique.decay_tags:
+        tags = active_lc * powers.tag_active + standby_lc * powers.tag_standby
+    else:
+        tags = n_lines * cycles * powers.tag_active
+    edge = model.edge_logic_power * cycles
+    return (data + tags + edge) / frequency_hz
+
+
+@dataclass(frozen=True)
+class NetSavingsResult:
+    """The paper's per-benchmark figure point.
+
+    ``net_savings_pct`` is the Figure 3/5/7/8/10/12 quantity;
+    ``perf_loss_pct`` is the Figure 4/6/9/11/13 quantity.
+    """
+
+    benchmark: str
+    technique: str
+    decay_interval: int
+    l2_latency: int
+    temp_c: float
+    baseline_cycles: int
+    technique_cycles: int
+    leak_baseline_j: float
+    leak_technique_j: float
+    dyn_baseline_j: float
+    dyn_technique_j: float
+    clock_baseline_j: float
+    clock_technique_j: float
+    turnoff_ratio: float
+    induced_misses: int
+    slow_hits: int
+    true_misses: int
+    accesses: int
+    uncontrolled_power_w: float = 0.0
+    frequency_hz: float = 5.6e9
+    event_time_scale: float = EVENT_TIME_SCALE
+
+    @property
+    def runtime_leakage_j(self) -> float:
+        """Leakage of uncontrolled structures during the extra runtime."""
+        extra_cycles = self.technique_cycles - self.baseline_cycles
+        return extra_cycles * self.uncontrolled_power_w / self.frequency_hz
+
+    @property
+    def dynamic_overhead_j(self) -> float:
+        """Extra dynamic energy of the technique run (costs #1, #3, #4).
+
+        The clock (runtime-proportional) part is charged at full weight;
+        the event part is deflated by the dead-time compression factor.
+        """
+        clock_delta = self.clock_technique_j - self.clock_baseline_j
+        event_delta = (self.dyn_technique_j - self.clock_technique_j) - (
+            self.dyn_baseline_j - self.clock_baseline_j
+        )
+        return clock_delta + event_delta / self.event_time_scale
+
+    @property
+    def gross_savings_pct(self) -> float:
+        """Leakage avoided, before dynamic costs, as % of baseline leakage."""
+        return 100.0 * (1.0 - self.leak_technique_j / self.leak_baseline_j)
+
+    @property
+    def net_savings_pct(self) -> float:
+        """The figures' net energy savings (%)."""
+        saved = (
+            self.leak_baseline_j
+            - self.leak_technique_j
+            - self.dynamic_overhead_j
+            - self.runtime_leakage_j
+        )
+        return 100.0 * saved / self.leak_baseline_j
+
+    @property
+    def perf_loss_pct(self) -> float:
+        """Runtime increase over the baseline (%)."""
+        return 100.0 * (self.technique_cycles - self.baseline_cycles) / self.baseline_cycles
+
+    @property
+    def energy_ratio(self) -> float:
+        """Total energy (dynamic + controlled leakage + uncontrolled
+        leakage) of the technique run relative to the baseline run.
+
+        Below 1.0 means the technique saves energy *overall*, not just in
+        the controlled structure — the denominator of ED-style metrics.
+        """
+        per_cycle_uncontrolled = self.uncontrolled_power_w / self.frequency_hz
+        base = (
+            self.dyn_baseline_j
+            + self.leak_baseline_j
+            + per_cycle_uncontrolled * self.baseline_cycles
+        )
+        tech = (
+            self.dyn_technique_j
+            + self.leak_technique_j
+            + per_cycle_uncontrolled * self.technique_cycles
+        )
+        return tech / base
+
+    @property
+    def ed2_ratio(self) -> float:
+        """Energy-delay-squared ratio (technique / baseline).
+
+        The performance-weighted figure of merit high-performance
+        designers actually optimise: below 1.0 the technique wins even
+        after penalising its slowdown twice.
+        """
+        delay_ratio = self.technique_cycles / self.baseline_cycles
+        return self.energy_ratio * delay_ratio**2
+
+
+def net_savings(
+    *,
+    benchmark: str,
+    technique: TechniqueConfig,
+    decay_interval: int,
+    l2_latency: int,
+    temp_c: float,
+    model: CacheLeakageModel,
+    frequency_hz: float,
+    baseline_cycles: int,
+    baseline_accountant: EnergyAccountant,
+    technique_cycles: int,
+    technique_accountant: EnergyAccountant,
+    standby_stats: StandbyStats,
+    event_time_scale: float = EVENT_TIME_SCALE,
+    controlled_target: str = "l1d",
+) -> NetSavingsResult:
+    """Assemble the figure point from a (baseline, technique) run pair."""
+    leak_base = baseline_leakage_energy(model, baseline_cycles, frequency_hz)
+    leak_tech = technique_leakage_energy(model, technique, standby_stats, frequency_hz)
+    return NetSavingsResult(
+        benchmark=benchmark,
+        technique=technique.name,
+        decay_interval=decay_interval,
+        l2_latency=l2_latency,
+        temp_c=temp_c,
+        baseline_cycles=baseline_cycles,
+        technique_cycles=technique_cycles,
+        leak_baseline_j=leak_base,
+        leak_technique_j=leak_tech,
+        dyn_baseline_j=baseline_accountant.total_energy(),
+        dyn_technique_j=technique_accountant.total_energy(),
+        clock_baseline_j=baseline_accountant.clock_energy(),
+        clock_technique_j=technique_accountant.clock_energy(),
+        uncontrolled_power_w=uncontrolled_leakage_power(
+            model, controlled=controlled_target
+        ),
+        frequency_hz=frequency_hz,
+        event_time_scale=event_time_scale,
+        turnoff_ratio=standby_stats.turnoff_ratio(model.geometry.n_lines),
+        induced_misses=standby_stats.induced_misses,
+        slow_hits=standby_stats.slow_hits,
+        true_misses=standby_stats.true_misses,
+        accesses=standby_stats.accesses,
+    )

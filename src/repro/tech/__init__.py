@@ -1,0 +1,49 @@
+"""Technology parameters: physical constants, node presets, variation."""
+
+from repro.tech.constants import (
+    BOLTZMANN,
+    ELECTRON_CHARGE,
+    ROOM_TEMP_K,
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+    thermal_voltage,
+)
+from repro.tech.nodes import (
+    PAPER_FREQUENCY_HZ,
+    PAPER_NODE,
+    PAPER_VDD,
+    TechnologyNode,
+    available_nodes,
+    get_node,
+)
+from repro.tech.variation import (
+    PAPER_70NM_VARIATION,
+    IntraDieSpec,
+    LineLeakageSpread,
+    ParameterSampler,
+    VariationSpec,
+    intra_die_line_spread,
+    mean_leakage_with_variation,
+)
+
+__all__ = [
+    "BOLTZMANN",
+    "ELECTRON_CHARGE",
+    "ROOM_TEMP_K",
+    "celsius_to_kelvin",
+    "kelvin_to_celsius",
+    "thermal_voltage",
+    "TechnologyNode",
+    "get_node",
+    "available_nodes",
+    "PAPER_NODE",
+    "PAPER_VDD",
+    "PAPER_FREQUENCY_HZ",
+    "VariationSpec",
+    "ParameterSampler",
+    "PAPER_70NM_VARIATION",
+    "mean_leakage_with_variation",
+    "IntraDieSpec",
+    "LineLeakageSpread",
+    "intra_die_line_spread",
+]

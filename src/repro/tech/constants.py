@@ -1,0 +1,43 @@
+"""Physical constants used throughout the leakage models.
+
+All values are SI.  Temperatures are in Kelvin everywhere in this library;
+helpers are provided to convert from the Celsius operating points the paper
+quotes (85 C and 110 C).
+"""
+
+from __future__ import annotations
+
+BOLTZMANN = 1.380649e-23
+"""Boltzmann constant in J/K."""
+
+ELECTRON_CHARGE = 1.602176634e-19
+"""Elementary charge in C."""
+
+EPS_0 = 8.8541878128e-12
+"""Vacuum permittivity in F/m."""
+
+EPS_SIO2 = 3.9 * EPS_0
+"""Permittivity of SiO2 gate oxide in F/m."""
+
+ROOM_TEMP_K = 300.0
+"""Reference temperature (K) at which technology parameters are specified."""
+
+
+def thermal_voltage(temp_k: float) -> float:
+    """Thermal voltage ``vt = kT/q`` in volts at ``temp_k`` kelvin."""
+    if temp_k <= 0:
+        raise ValueError(f"temperature must be positive, got {temp_k} K")
+    return BOLTZMANN * temp_k / ELECTRON_CHARGE
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a Celsius temperature to Kelvin."""
+    temp_k = temp_c + 273.15
+    if temp_k <= 0:
+        raise ValueError(f"temperature below absolute zero: {temp_c} C")
+    return temp_k
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a Kelvin temperature to Celsius."""
+    return temp_k - 273.15

@@ -1,0 +1,167 @@
+"""Technology-node parameter presets for the HotLeakage-style model.
+
+HotLeakage ships BSIM3-derived parameter sets for 180 nm down to 70 nm.  We
+encode the same idea as frozen dataclasses.  The default supply voltages
+match the paper exactly (Section 3.1.1): ``Vdd0`` = 2.0 V at 180 nm, 1.5 V at
+130 nm, 1.2 V at 100 nm, and 1.0 V at 70 nm.  The 70 nm threshold voltages
+are the paper's values (0.190 V N-type, 0.213 V P-type, Section 2.3); other
+node values follow the usual constant-field scaling trend and the published
+BSIM3 cards for those generations.
+
+The remaining parameters (mobility, subthreshold swing, DIBL coefficient,
+``Voff``, oxide thickness, threshold temperature coefficient) are the knobs
+of the BSIM3 subthreshold equation the paper reproduces as its Equation 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.tech.constants import EPS_SIO2
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """Parameters describing one CMOS technology generation.
+
+    Attributes:
+        name: Human-readable node name, e.g. ``"70nm"``.
+        feature_nm: Drawn feature size in nanometres.
+        vdd0: Default (nominal) supply voltage in volts; the DIBL factor in
+            the subthreshold equation is normalised so it equals 1 at
+            ``vdd == vdd0``.
+        vth_n: NMOS threshold voltage magnitude at 300 K, volts.
+        vth_p: PMOS threshold voltage magnitude at 300 K, volts.
+        tox_nm: Physical gate-oxide thickness in nanometres.
+        mu0_n: NMOS zero-bias mobility, m^2/(V s).
+        mu0_p: PMOS zero-bias mobility, m^2/(V s).
+        subthreshold_swing_n: BSIM3 swing coefficient ``n`` (unitless, ~1.3).
+        dibl_b: DIBL curve-fit coefficient ``b`` in 1/V; enters the model as
+            ``exp(b * (vdd - vdd0))``.
+        voff: BSIM3 empirical offset voltage (negative), volts.
+        vth_temp_coeff: dVth/dT in V/K (negative: Vth drops as T rises).
+        gate_leak_na_per_um: Gate (direct-tunnelling) leakage density at the
+            calibration point (nominal tox, 0.9 * vdd0, 300 K), nA/um.  Zero
+            for nodes where gate leakage is negligible.
+        body_effect_gamma: Linearised body-effect coefficient (V/V) used by
+            the transistor-level solver and the RBB model.
+    """
+
+    name: str
+    feature_nm: float
+    vdd0: float
+    vth_n: float
+    vth_p: float
+    tox_nm: float
+    mu0_n: float
+    mu0_p: float
+    subthreshold_swing_n: float
+    dibl_b: float
+    voff: float
+    vth_temp_coeff: float
+    gate_leak_na_per_um: float
+    body_effect_gamma: float
+
+    @property
+    def cox(self) -> float:
+        """Gate-oxide capacitance per unit area in F/m^2."""
+        return EPS_SIO2 / (self.tox_nm * 1e-9)
+
+    def with_overrides(self, **kwargs) -> "TechnologyNode":
+        """Return a copy with selected parameters replaced.
+
+        Useful for what-if studies, e.g. raising Vth of access transistors
+        (the drowsy paper's high-Vt pass gates) or perturbing tox.
+        """
+        return replace(self, **kwargs)
+
+
+_NODES = {
+    "180nm": TechnologyNode(
+        name="180nm",
+        feature_nm=180.0,
+        vdd0=2.0,
+        vth_n=0.420,
+        vth_p=0.450,
+        tox_nm=4.0,
+        mu0_n=0.0500,
+        mu0_p=0.0170,
+        subthreshold_swing_n=1.32,
+        dibl_b=1.8,
+        voff=-0.080,
+        vth_temp_coeff=-7.0e-4,
+        gate_leak_na_per_um=0.0,
+        body_effect_gamma=0.20,
+    ),
+    "130nm": TechnologyNode(
+        name="130nm",
+        feature_nm=130.0,
+        vdd0=1.5,
+        vth_n=0.330,
+        vth_p=0.360,
+        tox_nm=3.3,
+        mu0_n=0.0480,
+        mu0_p=0.0160,
+        subthreshold_swing_n=1.34,
+        dibl_b=2.2,
+        voff=-0.080,
+        vth_temp_coeff=-7.5e-4,
+        gate_leak_na_per_um=0.0,
+        body_effect_gamma=0.18,
+    ),
+    "100nm": TechnologyNode(
+        name="100nm",
+        feature_nm=100.0,
+        vdd0=1.2,
+        vth_n=0.260,
+        vth_p=0.290,
+        tox_nm=1.6,
+        mu0_n=0.0460,
+        mu0_p=0.0155,
+        subthreshold_swing_n=1.36,
+        dibl_b=2.6,
+        voff=-0.080,
+        vth_temp_coeff=-8.0e-4,
+        gate_leak_na_per_um=8.0,
+        body_effect_gamma=0.16,
+    ),
+    "70nm": TechnologyNode(
+        name="70nm",
+        feature_nm=70.0,
+        vdd0=1.0,
+        # Paper Section 2.3: 0.190 V N-type, 0.213 V P-type at 70 nm.
+        vth_n=0.190,
+        vth_p=0.213,
+        # Paper Section 3.2: gate leakage calibrated at 1.2 nm oxide.
+        tox_nm=1.2,
+        mu0_n=0.0450,
+        mu0_p=0.0150,
+        subthreshold_swing_n=1.40,
+        dibl_b=3.0,
+        voff=-0.080,
+        vth_temp_coeff=-8.5e-4,
+        # Paper Section 3.2: 40 nA/um at 0.9 V, 300 K.
+        gate_leak_na_per_um=40.0,
+        body_effect_gamma=0.15,
+    ),
+}
+
+
+def get_node(name: str) -> TechnologyNode:
+    """Look up a technology preset by name (``"180nm"`` ... ``"70nm"``)."""
+    try:
+        return _NODES[name]
+    except KeyError:
+        known = ", ".join(sorted(_NODES))
+        raise KeyError(f"unknown technology node {name!r}; known: {known}") from None
+
+
+def available_nodes() -> tuple[str, ...]:
+    """Names of all built-in technology presets, smallest feature last."""
+    return tuple(sorted(_NODES, key=lambda n: -_NODES[n].feature_nm))
+
+
+# The paper's operating point: 70 nm at Vdd = 0.9 V and 5600 MHz.
+PAPER_NODE = get_node("70nm")
+PAPER_VDD = 0.9
+PAPER_FREQUENCY_HZ = 5.6e9

@@ -1,0 +1,197 @@
+"""Inter-die parameter variation (paper Section 3.3).
+
+HotLeakage models inter-die (die-to-die) variation by drawing N Gaussian
+samples for each varied parameter, computing the leakage current for each
+sample, and using the *mean* of those leakage currents in the subsequent
+simulation.  Because leakage is a convex (exponential-ish) function of most
+parameters, this mean exceeds the leakage at the nominal point — which is
+exactly the effect the paper wants captured.
+
+The four varied parameters and their 70 nm three-sigma values (from Nassif,
+ASP-DAC 2001, quoted in paper Section 2.3):
+
+* transistor length ``L``:   47 %
+* gate-oxide thickness:      16 %
+* supply voltage:            10 %
+* threshold voltage:         13 %
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class VariationSpec:
+    """Three-sigma fractional variations for the four modelled parameters.
+
+    Each value is the 3-sigma deviation expressed as a fraction of the mean
+    (e.g. ``0.47`` means the 3-sigma point is 47 % away from nominal).
+    """
+
+    length_3sigma: float = 0.47
+    tox_3sigma: float = 0.16
+    vdd_3sigma: float = 0.10
+    vth_3sigma: float = 0.13
+    samples: int = 200
+    seed: int = 20040216  # arbitrary but fixed: reproducible sampling
+
+    def sigmas(self) -> dict[str, float]:
+        """Per-parameter 1-sigma fractional deviations."""
+        return {
+            "length": self.length_3sigma / 3.0,
+            "tox": self.tox_3sigma / 3.0,
+            "vdd": self.vdd_3sigma / 3.0,
+            "vth": self.vth_3sigma / 3.0,
+        }
+
+
+PAPER_70NM_VARIATION = VariationSpec()
+"""The paper's quoted 70 nm inter-die variation setting."""
+
+
+@dataclass
+class ParameterSampler:
+    """Draws correlated-per-die multiplier samples for the varied parameters.
+
+    Inter-die variation shifts every device on a die equally, so one sample
+    per die suffices: a multiplier for each of (length, tox, vdd, vth).
+    Multipliers are clipped at a small positive floor so that a pathological
+    tail draw cannot produce a non-physical (zero or negative) parameter.
+    """
+
+    spec: VariationSpec = field(default_factory=VariationSpec)
+
+    def draw(self) -> np.ndarray:
+        """Return an ``(N, 4)`` array of multipliers.
+
+        Columns are (length, tox, vdd, vth) in that order.
+        """
+        rng = np.random.default_rng(self.spec.seed)
+        sigmas = self.spec.sigmas()
+        cols = []
+        for key in ("length", "tox", "vdd", "vth"):
+            samples = rng.normal(1.0, sigmas[key], size=self.spec.samples)
+            cols.append(np.clip(samples, 0.05, None))
+        return np.stack(cols, axis=1)
+
+
+@dataclass(frozen=True)
+class IntraDieSpec:
+    """Within-die random variation (the paper's declared future work).
+
+    Intra-die variation "contributes to the mismatch behavior between
+    structures on the same chip" (paper Section 3.3) — here, between cache
+    lines.  Random (Pelgrom-style) per-device threshold and length
+    mismatch is much smaller than the inter-die shift but does not cancel:
+    leakage is exponential in Vth, so averaging over a line's cells leaves
+    both a mean uplift and a line-to-line spread whose tail sets the
+    worst-line leakage.
+
+    Attributes:
+        vth_sigma_frac: Per-device 1-sigma Vth mismatch as a fraction of
+            nominal Vth (~3-5 % at 70 nm for minimum devices).
+        length_sigma_frac: Per-device 1-sigma channel-length mismatch.
+        mc_lines: Monte-Carlo line population size.
+        seed: RNG seed (deterministic).
+    """
+
+    vth_sigma_frac: float = 0.04
+    length_sigma_frac: float = 0.03
+    mc_lines: int = 2000
+    seed: int = 77
+
+    def __post_init__(self) -> None:
+        if self.vth_sigma_frac < 0 or self.length_sigma_frac < 0:
+            raise ValueError("sigma fractions must be non-negative")
+        if self.mc_lines < 10:
+            raise ValueError("mc_lines too small for meaningful statistics")
+
+
+@dataclass(frozen=True)
+class LineLeakageSpread:
+    """Monte-Carlo statistics of per-line leakage under intra-die mismatch.
+
+    All values are multipliers relative to the mismatch-free line leakage.
+    """
+
+    mean: float
+    sigma: float
+    p50: float
+    p95: float
+    p99: float
+    worst: float
+
+
+def intra_die_line_spread(
+    *,
+    vth_nominal: float,
+    subthreshold_slope_v: float,
+    cells_per_line: int,
+    spec: IntraDieSpec | None = None,
+) -> LineLeakageSpread:
+    """Distribution of per-line leakage under within-die device mismatch.
+
+    Each device's leakage is scaled by ``exp(-dVth / (n vt))`` for its
+    random threshold draw (and ``1/length`` for its length draw); a line's
+    leakage is the average over its ``cells_per_line`` devices.  Because
+    the exponential is convex, the *mean* line leaks more than nominal,
+    and the per-line averaging shrinks — but does not eliminate — the
+    spread (CLT over a lognormal-ish population).
+
+    Args:
+        vth_nominal: Nominal threshold magnitude (V).
+        subthreshold_slope_v: ``n * vt`` (V) at the operating temperature.
+        cells_per_line: Devices averaged per line (bits x transistors).
+        spec: Mismatch magnitudes; defaults to 70 nm-class values.
+    """
+    if cells_per_line < 1:
+        raise ValueError("cells_per_line must be positive")
+    spec = spec or IntraDieSpec()
+    rng = np.random.default_rng(spec.seed)
+    dvth = rng.normal(
+        0.0, spec.vth_sigma_frac * vth_nominal, size=(spec.mc_lines, cells_per_line)
+    )
+    dlen = np.clip(
+        rng.normal(1.0, spec.length_sigma_frac, size=(spec.mc_lines, cells_per_line)),
+        0.5,
+        None,
+    )
+    cell_mult = np.exp(-dvth / subthreshold_slope_v) / dlen
+    line_mult = cell_mult.mean(axis=1)
+    return LineLeakageSpread(
+        mean=float(line_mult.mean()),
+        sigma=float(line_mult.std()),
+        p50=float(np.percentile(line_mult, 50)),
+        p95=float(np.percentile(line_mult, 95)),
+        p99=float(np.percentile(line_mult, 99)),
+        worst=float(line_mult.max()),
+    )
+
+
+def mean_leakage_with_variation(
+    leakage_fn: Callable[[float, float, float, float], float],
+    spec: VariationSpec | None = None,
+) -> float:
+    """Average ``leakage_fn`` over inter-die variation samples.
+
+    Args:
+        leakage_fn: Callable taking multipliers
+            ``(length_mult, tox_mult, vdd_mult, vth_mult)`` and returning a
+            leakage current (A).  The caller applies the multipliers to its
+            nominal parameters.
+        spec: Variation specification; defaults to the paper's 70 nm values.
+
+    Returns:
+        Mean leakage current across the sample population (A), reproducing
+        HotLeakage's initialization-phase averaging.
+    """
+    spec = spec or PAPER_70NM_VARIATION
+    samples = ParameterSampler(spec).draw()
+    total = 0.0
+    for length_m, tox_m, vdd_m, vth_m in samples:
+        total += leakage_fn(length_m, tox_m, vdd_m, vth_m)
+    return total / len(samples)

@@ -1,0 +1,17 @@
+"""Lumped thermal model coupling power to the HotLeakage temperature.
+
+The paper's companion work (its refs [28]/[29], the HotSpot line) models
+die temperature with thermal RC networks; HotLeakage exists precisely so
+leakage can be *recomputed* as that temperature moves at runtime.  This
+package provides the minimal closed loop: a lumped RC node driven by
+dynamic + leakage power, where the leakage power itself depends on the
+temperature — including the classic instability, thermal runaway.
+"""
+
+from repro.thermal.rc import (
+    ThermalRC,
+    ThermalRunawayError,
+    leakage_thermal_equilibrium,
+)
+
+__all__ = ["ThermalRC", "ThermalRunawayError", "leakage_thermal_equilibrium"]

@@ -1,0 +1,32 @@
+"""Synthetic SPECint-like workloads (the paper-benchmark substitution)."""
+
+from repro.workloads.generator import TraceGenerator, trace
+from repro.workloads.tracefile import (
+    TraceFormatError,
+    read_trace,
+    trace_length,
+    write_trace,
+)
+from repro.workloads.profiles import (
+    BENCHMARK_NAMES,
+    EXTENDED_BENCHMARK_NAMES,
+    EXTENDED_PROFILES,
+    PROFILES,
+    BenchmarkProfile,
+    get_profile,
+)
+
+__all__ = [
+    "BenchmarkProfile",
+    "PROFILES",
+    "BENCHMARK_NAMES",
+    "EXTENDED_BENCHMARK_NAMES",
+    "EXTENDED_PROFILES",
+    "get_profile",
+    "TraceGenerator",
+    "trace",
+    "write_trace",
+    "read_trace",
+    "trace_length",
+    "TraceFormatError",
+]

@@ -1,0 +1,310 @@
+"""Seeded micro-op trace generation from a :class:`BenchmarkProfile`.
+
+Generation is two-phase, mirroring how real code behaves:
+
+1. A **static skeleton** is built once per (profile, seed): the loop body
+   of ``loop_ops`` slots, each with a fixed op class (so PCs have stable
+   op types — branch predictors and the I-cache see a real program) and,
+   for branch slots, a fixed persona: strongly biased (learnable) or
+   data-random (the mispredict floor).
+
+2. The **dynamic stream** walks the skeleton, rolling only data-dependent
+   values: effective addresses, branch outcomes against the persona bias,
+   and register assignments.
+
+Addresses come from per-region cursors with two locality mechanisms:
+
+* *spatial*: the cursor walks forward in 8 B steps and only jumps lines
+  with probability ``_JUMP_PROB`` (~1/jump-prob touches per line);
+* *temporal*: half the jumps return to a recently-used line, so regions
+  have a reuse spike plus a uniform tail — the dead-time mixture the
+  decay techniques are sensitive to.
+
+Everything is deterministic given (profile, seed).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.cpu.isa import MicroOp, OpClass
+from repro.workloads.profiles import BenchmarkProfile, get_profile
+
+# Virtual-address region bases, far apart so regions never overlap.
+CODE_BASE = 0x0040_0000
+HOT_BASE = 0x1000_0000
+WARM_BASE = 0x2000_0000
+COLD_BASE = 0x4000_0000
+STREAM_BASE = 0x6000_0000
+
+_CHASE_REG = 30  # dedicated pointer register for chase chains
+_RECENT_DESTS = 8
+_JUMP_PROB = 0.15  # cursor line-jump probability (~6-7 touches per line)
+_REUSE_PROB = 0.62  # fraction of jumps that return to a recent line (alive)
+_LONG_PROB = 0.05  # fraction of jumps that return to an older line — the
+# thin medium/long-gap band that decays and gets re-touched (slow hits /
+# induced misses); real programs keep this band thin, which is what makes
+# a well-tuned decay interval effective (paper Section 5.1, reason #2).
+_RECENT_LINES = 12  # depth of the per-region recently-used-line pool; kept
+# small so recent-reuse gaps concentrate well below any reasonable decay
+# interval — the live/dead separation that makes decay-interval choice a
+# question about each benchmark's *hot-pool* scale, not about the generic
+# reuse noise.
+_LONG_LINES = 2048  # depth of the long-term pool (beyond L1, within L2)
+
+
+@dataclass(frozen=True)
+class _Slot:
+    """One static instruction slot of the loop body."""
+
+    kind: OpClass
+    pc: int
+    is_chase: bool = False
+    branch_bias: float = 0.0
+    branch_target: int = 0
+
+
+class TraceGenerator:
+    """Generates micro-ops for one benchmark profile.
+
+    Args:
+        profile: Benchmark characteristics (or its paper name).
+        seed: RNG seed; traces are reproducible given (profile, seed).
+    """
+
+    def __init__(self, profile: BenchmarkProfile | str, seed: int = 1) -> None:
+        self.profile = (
+            get_profile(profile) if isinstance(profile, str) else profile
+        )
+        self.seed = seed
+        self._skeleton = self._build_skeleton()
+
+    # ------------------------------------------------------------------
+    # Static program
+    # ------------------------------------------------------------------
+
+    def _build_skeleton(self) -> list[_Slot]:
+        p = self.profile
+        rng = random.Random((zlib.crc32(p.name.encode()) ^ (self.seed * 7919)) & 0x7FFFFFFF)
+        ops_per_line = max(p.loop_ops // max(p.code_lines, 1), 1)
+
+        m_load = p.load_frac
+        m_store = m_load + p.store_frac
+        m_branch = m_store + p.branch_frac
+        m_fp = m_branch + p.fp_frac
+        m_imul = m_fp + p.imul_frac
+        m_idiv = m_imul + p.idiv_frac
+
+        skeleton: list[_Slot] = []
+        for slot in range(p.loop_ops):
+            pc = CODE_BASE + (slot // ops_per_line) * 64 + (slot % ops_per_line) * 4
+            r = rng.random()
+            if r < m_load:
+                is_chase = rng.random() < p.pointer_chase_frac
+                skeleton.append(_Slot(kind=OpClass.LOAD, pc=pc, is_chase=is_chase))
+            elif r < m_store:
+                skeleton.append(_Slot(kind=OpClass.STORE, pc=pc))
+            elif r < m_branch:
+                if rng.random() < p.random_branch_frac:
+                    bias = 0.5
+                else:
+                    bias = 0.97 if rng.random() < 0.7 else 0.03
+                # Backward loop edges near the end of the body; short
+                # forward skips elsewhere.
+                if slot > p.loop_ops - 8:
+                    target = CODE_BASE + rng.randrange(4) * 64
+                else:
+                    target = pc + 4 + rng.randrange(4) * 4
+                skeleton.append(
+                    _Slot(
+                        kind=OpClass.BRANCH,
+                        pc=pc,
+                        branch_bias=bias,
+                        branch_target=target,
+                    )
+                )
+            elif r < m_fp:
+                kind = OpClass.FPMUL if rng.random() < 0.3 else OpClass.FPALU
+                skeleton.append(_Slot(kind=kind, pc=pc))
+            elif r < m_imul:
+                skeleton.append(_Slot(kind=OpClass.IMUL, pc=pc))
+            elif r < m_idiv:
+                skeleton.append(_Slot(kind=OpClass.IDIV, pc=pc))
+            else:
+                skeleton.append(_Slot(kind=OpClass.IALU, pc=pc))
+        return skeleton
+
+    # ------------------------------------------------------------------
+    # Dynamic stream
+    # ------------------------------------------------------------------
+
+    def ops(self, n_ops: int) -> Iterator[MicroOp]:
+        """Yield ``n_ops`` micro-ops walking the static loop."""
+        p = self.profile
+        rng = random.Random((zlib.crc32(p.name.encode()) ^ self.seed) & 0x7FFFFFFF)
+        skeleton = self._skeleton
+        loop = len(skeleton)
+
+        recent: list[int] = [1] * _RECENT_DESTS
+        last_load_dest = -1
+        stream_pos = 0
+        # Pure streaming: the pointer never wraps within a run, so stream
+        # lines are touched once, die, and stay dead (their decay is free
+        # savings; revisits would manufacture artificial induced misses).
+        stream_span = 32 * 1024 * 1024
+
+        t_hot = p.p_hot
+        t_warm = t_hot + p.p_warm
+        t_cold = t_warm + p.p_cold
+
+        cursors = {"hot": 0, "warm": 0, "cold": 0}
+        sizes = {"hot": p.hot_bytes, "warm": p.warm_bytes, "cold": p.cold_bytes}
+        bases = {"hot": HOT_BASE, "warm": WARM_BASE, "cold": COLD_BASE}
+        recent_lines: dict[str, list[int]] = {"hot": [0], "warm": [0], "cold": [0]}
+        long_lines: dict[str, list[int]] = {"hot": [0], "warm": [0], "cold": [0]}
+        # The hot region's live pool scales with the hot set: a big hot
+        # working set (gzip's sliding window) rotates through many lines at
+        # proportionally longer per-line gaps — the benchmark-dependent
+        # economics that give gated-Vss its wide best-interval spread
+        # (paper Table 3) while drowsy stays interval-insensitive.
+        pool_caps = {
+            "hot": min(max(16, (p.hot_bytes >> 6) // 4), 128),
+            "warm": _RECENT_LINES,
+            "cold": _RECENT_LINES,
+        }
+
+        def region_addr(region: str) -> int:
+            size = sizes[region]
+            if rng.random() < _JUMP_PROB:
+                pool = recent_lines[region]
+                aged = long_lines[region]
+                cap = pool_caps[region]
+                r = rng.random()
+                if r < _REUSE_PROB:
+                    line = pool[rng.randrange(len(pool))]
+                elif r < _REUSE_PROB + _LONG_PROB:
+                    line = aged[rng.randrange(len(aged))]
+                else:
+                    line = rng.randrange(size >> 6)
+                    if len(aged) >= _LONG_LINES:
+                        aged[rng.randrange(_LONG_LINES)] = line
+                    else:
+                        aged.append(line)
+                if len(pool) >= cap:
+                    pool[rng.randrange(cap)] = line
+                else:
+                    pool.append(line)
+                cursors[region] = (line << 6) | (rng.randrange(8) << 3)
+            else:
+                cursors[region] = (cursors[region] + 8) % size
+            return bases[region] + cursors[region]
+
+        def data_addr() -> int:
+            nonlocal stream_pos
+            r = rng.random()
+            if r < t_hot:
+                return region_addr("hot")
+            if r < t_warm:
+                return region_addr("warm")
+            if r < t_cold:
+                return region_addr("cold")
+            stream_pos = (stream_pos + p.stream_stride) % stream_span
+            return STREAM_BASE + stream_pos
+
+        def aged_addr() -> int:
+            """Address of a not-recently-touched line (pointer-walk target).
+
+            Chained loads follow pointers into structures that have sat
+            idle — lines likely past any reasonable decay interval.  These
+            are the accesses whose standby penalty is serial: 3 cycles per
+            link for drowsy, a full L2 round trip per link for gated-Vss.
+            """
+            region = "warm" if rng.random() < 0.7 else "cold"
+            aged = long_lines[region]
+            line = aged[rng.randrange(len(aged))]
+            return bases[region] + ((line << 6) | (rng.randrange(8) << 3))
+
+        def pick_src() -> int:
+            if rng.random() < p.dep_near_frac:
+                return recent[rng.randrange(_RECENT_DESTS)]
+            return rng.randrange(30)  # avoid the chase register
+
+        def pick_dest() -> int:
+            dest = rng.randrange(30)
+            recent[rng.randrange(_RECENT_DESTS)] = dest
+            return dest
+
+        for i in range(n_ops):
+            slot = skeleton[i % loop]
+            kind = slot.kind
+            pc = slot.pc
+            if kind is OpClass.LOAD:
+                if slot.is_chase:
+                    yield MicroOp(
+                        pc=pc,
+                        op=OpClass.LOAD,
+                        dest=_CHASE_REG,
+                        src1=_CHASE_REG,
+                        addr=COLD_BASE + (rng.randrange(p.cold_bytes) & ~7),
+                    )
+                else:
+                    if last_load_dest >= 0 and rng.random() < p.load_chain_frac:
+                        src1 = last_load_dest  # address from the last load
+                        addr = aged_addr()
+                    else:
+                        src1 = pick_src()
+                        addr = data_addr()
+                    dest = pick_dest()
+                    last_load_dest = dest
+                    yield MicroOp(
+                        pc=pc,
+                        op=OpClass.LOAD,
+                        dest=dest,
+                        src1=src1,
+                        addr=addr,
+                    )
+            elif kind is OpClass.STORE:
+                if rng.random() < p.store_hot_bias:
+                    store_addr = region_addr("hot")
+                else:
+                    store_addr = data_addr()
+                yield MicroOp(
+                    pc=pc,
+                    op=OpClass.STORE,
+                    src1=pick_src(),
+                    src2=pick_src(),
+                    addr=store_addr,
+                )
+            elif kind is OpClass.BRANCH:
+                taken = rng.random() < slot.branch_bias
+                yield MicroOp(
+                    pc=pc,
+                    op=OpClass.BRANCH,
+                    src1=pick_src(),
+                    taken=taken,
+                    target=slot.branch_target,
+                )
+            elif kind in (OpClass.FPALU, OpClass.FPMUL):
+                yield MicroOp(
+                    pc=pc,
+                    op=kind,
+                    dest=32 + rng.randrange(30),
+                    src1=32 + rng.randrange(30),
+                    src2=32 + rng.randrange(30),
+                )
+            else:  # IALU / IMUL / IDIV
+                yield MicroOp(
+                    pc=pc,
+                    op=kind,
+                    dest=pick_dest(),
+                    src1=pick_src(),
+                    src2=pick_src(),
+                )
+
+
+def trace(benchmark: str, n_ops: int, *, seed: int = 1) -> Iterator[MicroOp]:
+    """Convenience: micro-op iterator for a named benchmark."""
+    return TraceGenerator(benchmark, seed=seed).ops(n_ops)

@@ -1,0 +1,407 @@
+"""Synthetic stand-ins for the paper's 11 SPECint2000 benchmarks.
+
+The paper simulates 500 M committed Alpha instructions of each SPECint
+program.  Without the binaries (and at pure-Python simulation speeds) we
+substitute seeded stochastic micro-op generators whose *cache-relevant
+behaviour* is what actually drives the drowsy vs gated-Vss comparison:
+
+* the L1 working set and how often lines are re-touched (the dead-time
+  distribution) — this sets the turnoff ratio and the induced-miss rate
+  at a given decay interval;
+* the available ILP / MLP — this sets how much of an induced miss's L2
+  latency the out-of-order window hides;
+* branch predictability — this sets the baseline IPC and how much slack
+  the front end has.
+
+Each profile is calibrated *qualitatively* against the known character of
+its namesake (mcf = pointer-chasing with a huge low-locality footprint,
+gzip/bzip2 = streaming compressors with a sliding-window hot set, crafty =
+cache-friendly search with a big code footprint, ...).  Time scales are
+compressed to match our shorter runs: the interesting line dead-times span
+roughly 0.3k-30k cycles, against which the decay-interval sweep
+{0.5k..32k} plays the role of the paper's {1k..64k} at 500 M instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Knobs of one synthetic benchmark.
+
+    Instruction mix fractions must sum to <= 1; the remainder is integer
+    ALU work.  Memory accesses pick a region: ``hot`` (small, frequently
+    re-touched), ``warm`` (medium), ``cold`` (large, low locality) or a
+    sequential ``stream``; probabilities must sum to 1.
+
+    Attributes:
+        name: Paper benchmark this profile stands in for.
+        load_frac / store_frac / branch_frac / fp_frac / imul_frac /
+            idiv_frac: Instruction-mix fractions.
+        hot_bytes / warm_bytes / cold_bytes: Region sizes.
+        p_hot / p_warm / p_cold / p_stream: Region choice probabilities
+            for each memory access.
+        store_hot_bias: Probability a store targets the hot region
+            regardless of the region mix — stores are mostly stack/local
+            in SPECint, so dirty lines concentrate where lines stay awake.
+        stream_stride: Byte stride of the streaming pointer.
+        pointer_chase_frac: Fraction of loads that form a serial
+            dependence chain (each chase load's address register is the
+            previous chase load's destination) — kills MLP like mcf.
+        load_chain_frac: Fraction of ordinary loads whose address depends
+            on the most recent load's result (field-after-pointer walks);
+            these serialise, so longer miss latencies become progressively
+            harder for the out-of-order window to hide.
+        dep_near_frac: Probability an ALU source comes from a very recent
+            destination (long chains, low ILP) instead of an older value.
+        random_branch_frac: Fraction of branch PCs whose outcome is
+            data-random (unpredictable); the rest are strongly biased.
+        code_lines: Instruction-cache footprint in 64 B lines.
+        loop_ops: Static code-loop length in micro-ops (PCs repeat with
+            this period so predictors and the I-cache can learn).
+    """
+
+    name: str
+    load_frac: float = 0.24
+    store_frac: float = 0.10
+    branch_frac: float = 0.17
+    fp_frac: float = 0.0
+    imul_frac: float = 0.01
+    idiv_frac: float = 0.002
+    hot_bytes: int = 16 * 1024
+    warm_bytes: int = 128 * 1024
+    cold_bytes: int = 1024 * 1024
+    p_hot: float = 0.6
+    p_warm: float = 0.25
+    p_cold: float = 0.1
+    p_stream: float = 0.05
+    stream_stride: int = 8
+    store_hot_bias: float = 0.88
+    pointer_chase_frac: float = 0.0
+    load_chain_frac: float = 0.18
+    dep_near_frac: float = 0.45
+    random_branch_frac: float = 0.10
+    code_lines: int = 256
+    loop_ops: int = 4096
+
+    def __post_init__(self) -> None:
+        mix = (
+            self.load_frac
+            + self.store_frac
+            + self.branch_frac
+            + self.fp_frac
+            + self.imul_frac
+            + self.idiv_frac
+        )
+        if not 0.0 < mix <= 1.0:
+            raise ValueError(f"{self.name}: instruction mix sums to {mix}")
+        regions = self.p_hot + self.p_warm + self.p_cold + self.p_stream
+        if abs(regions - 1.0) > 1e-9:
+            raise ValueError(f"{self.name}: region probabilities sum to {regions}")
+
+
+# ---------------------------------------------------------------------------
+# The 11 SPECint profiles of the paper's Section 4.2 / Table 3.
+# ---------------------------------------------------------------------------
+
+PROFILES: dict[str, BenchmarkProfile] = {
+    # gcc: sprawling data structures, little sustained reuse, lots of
+    # hard branches; most lines die quickly -> short best decay interval.
+    "gcc": BenchmarkProfile(
+        name="gcc",
+        hot_bytes=8 * 1024,
+        warm_bytes=256 * 1024,
+        cold_bytes=2 * 1024 * 1024,
+        p_hot=0.35,
+        p_warm=0.35,
+        p_cold=0.25,
+        p_stream=0.05,
+        dep_near_frac=0.45,
+        random_branch_frac=0.08,
+        code_lines=192,
+        loop_ops=3072,
+    ),
+    # gzip: sliding-window compressor; a large hot window (~48 KB) is
+    # re-touched at long gaps -> early decay induces many misses, so the
+    # best gated interval is the longest of the suite.
+    "gzip": BenchmarkProfile(
+        name="gzip",
+        load_frac=0.26,
+        store_frac=0.12,
+        branch_frac=0.15,
+        hot_bytes=48 * 1024,
+        warm_bytes=64 * 1024,
+        cold_bytes=256 * 1024,
+        p_hot=0.55,
+        p_warm=0.15,
+        p_cold=0.05,
+        p_stream=0.25,
+        dep_near_frac=0.35,
+        random_branch_frac=0.05,
+        code_lines=48,
+        loop_ops=768,
+    ),
+    # parser: dictionary walks over a medium working set.
+    "parser": BenchmarkProfile(
+        name="parser",
+        hot_bytes=24 * 1024,
+        warm_bytes=192 * 1024,
+        cold_bytes=768 * 1024,
+        p_hot=0.45,
+        p_warm=0.30,
+        p_cold=0.20,
+        p_stream=0.05,
+        dep_near_frac=0.50,
+        random_branch_frac=0.06,
+        code_lines=96,
+        loop_ops=1536,
+    ),
+    # vortex: OO database, cache-friendly with strong medium-range reuse.
+    "vortex": BenchmarkProfile(
+        name="vortex",
+        load_frac=0.27,
+        store_frac=0.14,
+        branch_frac=0.16,
+        hot_bytes=32 * 1024,
+        warm_bytes=96 * 1024,
+        cold_bytes=512 * 1024,
+        p_hot=0.55,
+        p_warm=0.30,
+        p_cold=0.10,
+        p_stream=0.05,
+        dep_near_frac=0.40,
+        random_branch_frac=0.04,
+        code_lines=160,
+        loop_ops=2560,
+    ),
+    # gap: group-theory interpreter; big bags of small objects with
+    # bursty medium-gap reuse.
+    "gap": BenchmarkProfile(
+        name="gap",
+        hot_bytes=28 * 1024,
+        warm_bytes=256 * 1024,
+        cold_bytes=1024 * 1024,
+        p_hot=0.50,
+        p_warm=0.30,
+        p_cold=0.15,
+        p_stream=0.05,
+        dep_near_frac=0.42,
+        random_branch_frac=0.05,
+        code_lines=112,
+        loop_ops=1792,
+    ),
+    # perl: interpreter loop, small hot set re-touched constantly.
+    "perl": BenchmarkProfile(
+        name="perl",
+        hot_bytes=12 * 1024,
+        warm_bytes=96 * 1024,
+        cold_bytes=512 * 1024,
+        p_hot=0.66,
+        p_warm=0.21,
+        p_cold=0.08,
+        p_stream=0.05,
+        dep_near_frac=0.42,
+        random_branch_frac=0.06,
+        code_lines=128,
+        loop_ops=2048,
+    ),
+    # twolf: place-and-route; medium working set, low ILP.
+    "twolf": BenchmarkProfile(
+        name="twolf",
+        hot_bytes=16 * 1024,
+        warm_bytes=160 * 1024,
+        cold_bytes=512 * 1024,
+        p_hot=0.50,
+        p_warm=0.32,
+        p_cold=0.13,
+        p_stream=0.05,
+        dep_near_frac=0.55,
+        random_branch_frac=0.07,
+        code_lines=80,
+        loop_ops=1280,
+    ),
+    # bzip2: block-sorting compressor; streaming plus a sizable hot block.
+    "bzip2": BenchmarkProfile(
+        name="bzip2",
+        load_frac=0.27,
+        store_frac=0.13,
+        branch_frac=0.14,
+        hot_bytes=36 * 1024,
+        warm_bytes=128 * 1024,
+        cold_bytes=512 * 1024,
+        p_hot=0.45,
+        p_warm=0.20,
+        p_cold=0.10,
+        p_stream=0.25,
+        dep_near_frac=0.38,
+        random_branch_frac=0.05,
+        code_lines=48,
+        loop_ops=768,
+    ),
+    # vpr: FPGA place & route, similar to twolf but slightly friendlier.
+    "vpr": BenchmarkProfile(
+        name="vpr",
+        hot_bytes=20 * 1024,
+        warm_bytes=160 * 1024,
+        cold_bytes=640 * 1024,
+        p_hot=0.50,
+        p_warm=0.30,
+        p_cold=0.15,
+        p_stream=0.05,
+        dep_near_frac=0.50,
+        random_branch_frac=0.06,
+        code_lines=80,
+        loop_ops=1280,
+    ),
+    # mcf: pointer-chasing network optimiser; enormous low-locality
+    # footprint, almost no MLP -> most lines are dead on arrival, the
+    # best decay interval is the shortest of the suite.
+    "mcf": BenchmarkProfile(
+        name="mcf",
+        load_frac=0.30,
+        store_frac=0.08,
+        branch_frac=0.16,
+        hot_bytes=4 * 1024,
+        warm_bytes=128 * 1024,
+        cold_bytes=4 * 1024 * 1024,
+        p_hot=0.25,
+        p_warm=0.20,
+        p_cold=0.50,
+        p_stream=0.05,
+        pointer_chase_frac=0.30,
+        dep_near_frac=0.60,
+        random_branch_frac=0.08,
+        code_lines=48,
+        loop_ops=768,
+    ),
+    # crafty: chess search; 64-bit bitboard ALU work, cache-friendly data
+    # (hash tables with long-gap reuse) and a large code footprint.
+    "crafty": BenchmarkProfile(
+        name="crafty",
+        load_frac=0.22,
+        store_frac=0.08,
+        branch_frac=0.16,
+        imul_frac=0.02,
+        hot_bytes=40 * 1024,
+        warm_bytes=192 * 1024,
+        cold_bytes=768 * 1024,
+        p_hot=0.40,
+        p_warm=0.40,
+        p_cold=0.15,
+        p_stream=0.05,
+        dep_near_frac=0.35,
+        random_branch_frac=0.05,
+        code_lines=176,
+        loop_ops=2816,
+    ),
+}
+
+BENCHMARK_NAMES: tuple[str, ...] = tuple(PROFILES)
+"""The 11 benchmarks in the paper's plotting order."""
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Look up a benchmark profile by (paper) name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(BENCHMARK_NAMES)
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+# ---------------------------------------------------------------------------
+# Extended (non-paper) profiles: SPECfp2000-flavoured workloads.
+#
+# The paper evaluates SPECint only; these four floating-point stand-ins
+# exercise the FP pipeline and the streaming/blocked access patterns of
+# scientific codes.  They are deliberately excluded from the paper-figure
+# benchmarks (BENCHMARK_NAMES) and exposed via EXTENDED_BENCHMARK_NAMES.
+# ---------------------------------------------------------------------------
+
+EXTENDED_PROFILES: dict[str, BenchmarkProfile] = {
+    # art: neural-net simulation; dense FP over a modest working set.
+    "art": BenchmarkProfile(
+        name="art",
+        load_frac=0.26,
+        store_frac=0.08,
+        branch_frac=0.08,
+        fp_frac=0.30,
+        hot_bytes=24 * 1024,
+        warm_bytes=192 * 1024,
+        cold_bytes=512 * 1024,
+        p_hot=0.55,
+        p_warm=0.25,
+        p_cold=0.10,
+        p_stream=0.10,
+        dep_near_frac=0.35,
+        random_branch_frac=0.03,
+        code_lines=32,
+        loop_ops=512,
+    ),
+    # equake: sparse-matrix earthquake simulation; indirection-heavy.
+    "equake": BenchmarkProfile(
+        name="equake",
+        load_frac=0.30,
+        store_frac=0.08,
+        branch_frac=0.08,
+        fp_frac=0.25,
+        hot_bytes=16 * 1024,
+        warm_bytes=256 * 1024,
+        cold_bytes=2 * 1024 * 1024,
+        p_hot=0.35,
+        p_warm=0.30,
+        p_cold=0.25,
+        p_stream=0.10,
+        load_chain_frac=0.25,
+        dep_near_frac=0.45,
+        random_branch_frac=0.04,
+        code_lines=48,
+        loop_ops=768,
+    ),
+    # mgrid: multigrid solver; long unit-stride sweeps.
+    "mgrid": BenchmarkProfile(
+        name="mgrid",
+        load_frac=0.32,
+        store_frac=0.12,
+        branch_frac=0.05,
+        fp_frac=0.30,
+        hot_bytes=8 * 1024,
+        warm_bytes=64 * 1024,
+        cold_bytes=256 * 1024,
+        p_hot=0.25,
+        p_warm=0.15,
+        p_cold=0.05,
+        p_stream=0.55,
+        dep_near_frac=0.30,
+        random_branch_frac=0.02,
+        code_lines=24,
+        loop_ops=384,
+    ),
+    # ammp: molecular dynamics; neighbour lists = chained FP loads.
+    "ammp": BenchmarkProfile(
+        name="ammp",
+        load_frac=0.28,
+        store_frac=0.10,
+        branch_frac=0.10,
+        fp_frac=0.22,
+        hot_bytes=32 * 1024,
+        warm_bytes=256 * 1024,
+        cold_bytes=1024 * 1024,
+        p_hot=0.45,
+        p_warm=0.30,
+        p_cold=0.15,
+        p_stream=0.10,
+        load_chain_frac=0.22,
+        dep_near_frac=0.40,
+        random_branch_frac=0.05,
+        code_lines=64,
+        loop_ops=1024,
+    ),
+}
+
+EXTENDED_BENCHMARK_NAMES: tuple[str, ...] = tuple(EXTENDED_PROFILES)
+"""The SPECfp-flavoured extension workloads (not in the paper's figures)."""
+
+PROFILES.update(EXTENDED_PROFILES)

@@ -1,0 +1,129 @@
+"""Binary micro-op trace files.
+
+Lets users persist generated traces or bring their own (e.g. converted
+from a real simulator's output) and replay them through the pipeline.
+
+Format (little-endian), chosen for dead-simple parsing from any language:
+
+* 16-byte header: magic ``b"RPRO-TRC"``, ``u32`` version (1), ``u32`` op
+  count;
+* one 28-byte record per op:
+  ``u64 pc, u8 op_class, i8 dest, i8 src1, i8 src2, u32 flags,
+  u64 addr, u32 target_offset``
+  where flags bit 0 is the branch taken bit, and ``target_offset`` is the
+  branch target relative to ``pc`` (signed, stored biased by 2^31).
+
+Files are written atomically-ish (temp + rename is the caller's business;
+this module just streams).
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.cpu.isa import MicroOp, OpClass
+
+MAGIC = b"RPRO-TRC"
+VERSION = 1
+_HEADER = struct.Struct("<8sII")
+_RECORD = struct.Struct("<QBbbbIQI")
+_TARGET_BIAS = 1 << 31
+
+
+class TraceFormatError(ValueError):
+    """Raised for malformed trace files."""
+
+
+def write_trace(path: str | Path, ops: Iterable[MicroOp]) -> int:
+    """Write micro-ops to ``path``; returns the number written.
+
+    The op count is known only at the end, so the header is back-patched.
+    """
+    path = Path(path)
+    count = 0
+    with open(path, "wb") as fh:
+        fh.write(_HEADER.pack(MAGIC, VERSION, 0))
+        for op in ops:
+            fh.write(_pack(op))
+            count += 1
+        fh.seek(0)
+        fh.write(_HEADER.pack(MAGIC, VERSION, count))
+    return count
+
+
+def _pack(op: MicroOp) -> bytes:
+    flags = 1 if op.taken else 0
+    offset = (op.target - op.pc) + _TARGET_BIAS if op.op is OpClass.BRANCH else _TARGET_BIAS
+    if not 0 <= offset < (1 << 32):
+        raise TraceFormatError(
+            f"branch target offset out of range at pc={op.pc:#x}"
+        )
+    return _RECORD.pack(
+        op.pc, int(op.op), op.dest, op.src1, op.src2, flags, op.addr, offset
+    )
+
+
+def _unpack(record: bytes) -> MicroOp:
+    pc, op_class, dest, src1, src2, flags, addr, offset = _RECORD.unpack(record)
+    try:
+        kind = OpClass(op_class)
+    except ValueError as exc:
+        raise TraceFormatError(f"unknown op class {op_class} at pc={pc:#x}") from exc
+    target = pc + (offset - _TARGET_BIAS) if kind is OpClass.BRANCH else 0
+    return MicroOp(
+        pc=pc,
+        op=kind,
+        dest=dest,
+        src1=src1,
+        src2=src2,
+        addr=addr,
+        taken=bool(flags & 1),
+        target=target,
+    )
+
+
+def read_trace(path: str | Path) -> Iterator[MicroOp]:
+    """Stream micro-ops from a trace file.
+
+    Raises:
+        TraceFormatError: On a bad magic, version, truncated record, or a
+            count mismatch.
+    """
+    path = Path(path)
+    with open(path, "rb") as fh:
+        header = fh.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise TraceFormatError(f"{path}: truncated header")
+        magic, version, count = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise TraceFormatError(f"{path}: bad magic {magic!r}")
+        if version != VERSION:
+            raise TraceFormatError(f"{path}: unsupported version {version}")
+        seen = 0
+        while True:
+            record = fh.read(_RECORD.size)
+            if not record:
+                break
+            if len(record) < _RECORD.size:
+                raise TraceFormatError(f"{path}: truncated record {seen}")
+            yield _unpack(record)
+            seen += 1
+        if seen != count:
+            raise TraceFormatError(
+                f"{path}: header promises {count} ops, file holds {seen}"
+            )
+
+
+def trace_length(path: str | Path) -> int:
+    """Number of ops a trace file holds (from the header)."""
+    with open(path, "rb") as fh:
+        header = fh.read(_HEADER.size)
+    if len(header) < _HEADER.size:
+        raise TraceFormatError(f"{path}: truncated header")
+    magic, version, count = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise TraceFormatError(f"{path}: bad magic {magic!r}")
+    return count

@@ -1,0 +1,100 @@
+"""Tests for the feedback-controlled adaptive decay interval (Section 5.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.leakage.structures import CacheGeometry
+from repro.leakctl.adaptive import AdaptiveControlledCache
+from repro.leakctl.base import drowsy_technique, gated_vss_technique
+
+TINY = CacheGeometry(size_bytes=8 * 64 * 2, assoc=2, line_bytes=64)
+
+
+def make_adaptive(technique, **kwargs):
+    defaults = dict(
+        decay_interval=1024,
+        window=2048,
+        hi_rate=0.05,
+        lo_rate=0.01,
+        min_interval=256,
+        max_interval=16384,
+    )
+    defaults.update(kwargs)
+    return AdaptiveControlledCache(Cache("l1d", TINY), technique, **defaults)
+
+
+def drive(cache, *, cycles, period, miss_every):
+    """Access a rotating set of addresses; re-touch at ``period`` cycles."""
+    lines = [cache.cache.line_addr_of(s, 1) for s in range(8)]
+    t = 0
+    i = 0
+    while t < cycles:
+        a = lines[i % len(lines)]
+        out = cache.access(a, is_write=False, cycle=t)
+        if not out.hit:
+            cache.fill(a, is_write=False, cycle=t)
+        t += period
+        i += 1
+
+
+class TestAdaptiveDecay:
+    def test_interval_doubles_under_penalty_pressure(self):
+        """Re-touching lines just after they decay creates a high induced
+        rate, which must push the interval up."""
+        cache = make_adaptive(gated_vss_technique())
+        # Touch each line every ~1600 cycles: decayed at iv=1024, so every
+        # access is an induced miss.
+        drive(cache, cycles=40_000, period=200, miss_every=1)
+        assert cache.decay_interval > 1024
+        assert len(cache.interval_history) > 1
+
+    def test_interval_halves_when_quiet(self):
+        """All hits, no penalties: the interval should shrink to reclaim
+        leakage."""
+        cache = make_adaptive(drowsy_technique())
+        lines = [cache.cache.line_addr_of(s, 1) for s in range(8)]
+        for a in lines:
+            cache.access(a, is_write=False, cycle=0)
+            cache.fill(a, is_write=False, cycle=0)
+        # Re-touch everything every 100 cycles: zero slow hits.
+        t = 100
+        while t < 60_000:
+            for a in lines:
+                cache.access(a, is_write=False, cycle=t)
+            t += 100
+        assert cache.decay_interval < 1024
+
+    def test_interval_clamped(self):
+        cache = make_adaptive(gated_vss_technique(), max_interval=4096)
+        drive(cache, cycles=200_000, period=500, miss_every=1)
+        assert cache.decay_interval <= 4096
+
+        cache2 = make_adaptive(drowsy_technique(), min_interval=512)
+        lines = [cache2.cache.line_addr_of(s, 1) for s in range(8)]
+        t = 0
+        while t < 100_000:
+            for a in lines:
+                out = cache2.access(a, is_write=False, cycle=t)
+                if not out.hit:
+                    cache2.fill(a, is_write=False, cycle=t)
+            t += 50
+        assert cache2.decay_interval >= 512
+
+    def test_initial_interval_clamped_into_bounds(self):
+        cache = make_adaptive(
+            gated_vss_technique(), decay_interval=10**6, max_interval=8192
+        )
+        assert cache.decay_interval == 8192
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            make_adaptive(drowsy_technique(), hi_rate=0.01, lo_rate=0.02)
+
+    def test_history_records_changes(self):
+        cache = make_adaptive(gated_vss_technique())
+        drive(cache, cycles=50_000, period=300, miss_every=1)
+        cycles = [c for c, _ in cache.interval_history]
+        assert cycles == sorted(cycles)
+        assert cache.interval_history[0] == (0, 1024)

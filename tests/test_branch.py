@@ -1,0 +1,120 @@
+"""Tests for the hybrid branch predictor and BTB (paper Table 2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cpu.branch import BranchTargetBuffer, HybridPredictor
+
+
+class TestHybridPredictor:
+    def test_learns_strongly_biased_branch(self):
+        pred = HybridPredictor()
+        wrong = 0
+        for i in range(500):
+            correct = pred.update(0x1000, taken=True)
+            if i > 20:
+                wrong += not correct
+        assert wrong == 0
+
+    def test_learns_never_taken_branch(self):
+        pred = HybridPredictor()
+        wrong = 0
+        for i in range(500):
+            correct = pred.update(0x2000, taken=False)
+            if i > 20:
+                wrong += not correct
+        assert wrong == 0
+
+    def test_gag_learns_alternating_pattern(self):
+        """T,N,T,N... is invisible to bimod but trivial for global history."""
+        pred = HybridPredictor()
+        wrong = 0
+        for i in range(2000):
+            correct = pred.update(0x3000, taken=(i % 2 == 0))
+            if i > 200:
+                wrong += not correct
+        assert wrong / 1800 < 0.02
+
+    def test_random_branch_near_half(self):
+        rng = random.Random(42)
+        pred = HybridPredictor()
+        wrong = 0
+        n = 4000
+        for i in range(n):
+            wrong += not pred.update(0x4000, taken=rng.random() < 0.5)
+        assert 0.35 < wrong / n < 0.65
+
+    def test_mixed_population_reasonable(self):
+        """A realistic mix of biased and random branches lands well under
+        the all-random floor."""
+        rng = random.Random(7)
+        pred = HybridPredictor()
+        biases = [0.97 if rng.random() < 0.8 else 0.5 for _ in range(64)]
+        wrong = total = 0
+        for it in range(120):
+            for j, bias in enumerate(biases):
+                correct = pred.update(0x8000 + j * 4, taken=rng.random() < bias)
+                if it > 20:
+                    total += 1
+                    wrong += not correct
+        assert wrong / total < 0.20
+
+    def test_stats_track_lookups_and_mispredicts(self):
+        pred = HybridPredictor()
+        for _ in range(10):
+            pred.update(0x100, taken=True)
+        assert pred.stats.lookups == 10
+        assert 0 <= pred.stats.direction_mispredicts <= 10
+        assert pred.stats.mispredict_rate == pytest.approx(
+            pred.stats.direction_mispredicts / 10
+        )
+
+    def test_predict_is_pure(self):
+        pred = HybridPredictor()
+        for _ in range(50):
+            pred.update(0x500, taken=True)
+        before = (list(pred.bimod), list(pred.gag), pred.history)
+        pred.predict(0x500)
+        after = (list(pred.bimod), list(pred.gag), pred.history)
+        assert before == after
+
+    def test_table_sizes_must_be_powers_of_two(self):
+        with pytest.raises(ValueError):
+            HybridPredictor(bimod_entries=1000)
+        with pytest.raises(ValueError):
+            HybridPredictor(gag_entries=3000)
+
+
+class TestBTB:
+    def test_lookup_miss_then_hit(self):
+        btb = BranchTargetBuffer()
+        assert btb.lookup(0x1000) is None
+        btb.install(0x1000, 0x2000)
+        assert btb.lookup(0x1000) == 0x2000
+
+    def test_update_existing_entry(self):
+        btb = BranchTargetBuffer()
+        btb.install(0x1000, 0x2000)
+        btb.install(0x1000, 0x3000)
+        assert btb.lookup(0x1000) == 0x3000
+
+    def test_lru_within_set(self):
+        btb = BranchTargetBuffer(entries=4, assoc=2)  # 2 sets
+        # Three branches mapping to the same set (set bits of pc>>2).
+        pcs = [((tag << 1) << 2) for tag in (1, 2, 3)]  # set 0
+        btb.install(pcs[0], 0xA)
+        btb.install(pcs[1], 0xB)
+        btb.lookup(pcs[0])  # promote first
+        btb.install(pcs[2], 0xC)  # evicts second
+        assert btb.lookup(pcs[0]) == 0xA
+        assert btb.lookup(pcs[1]) is None
+        assert btb.lookup(pcs[2]) == 0xC
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=10, assoc=3)
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=24, assoc=2)

@@ -1,0 +1,152 @@
+"""Tests for the BSIM3-style subthreshold model (paper Equation 2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.leakage.bsim3 import (
+    DeviceParams,
+    device_subthreshold_current,
+    leakage_vs_temperature,
+    leakage_vs_vdd,
+    unit_leakage,
+)
+from repro.tech.constants import thermal_voltage
+from repro.tech.nodes import get_node
+
+
+class TestUnitLeakage:
+    def test_positive_at_paper_point(self, node70):
+        assert unit_leakage(node70, vdd=0.9, temp_k=300.0) > 0.0
+
+    def test_magnitude_tens_of_nanoamps(self, node70):
+        """70 nm low-Vt off-current should be in the nA-tens-of-nA range."""
+        i = unit_leakage(node70, vdd=0.9, temp_k=300.0)
+        assert 1e-9 < i < 3e-7
+
+    def test_exponential_temperature_dependence(self, node70):
+        """Leakage grows superlinearly with T (the HotLeakage headline)."""
+        i300 = unit_leakage(node70, vdd=0.9, temp_k=300.0)
+        i383 = unit_leakage(node70, vdd=0.9, temp_k=383.15)
+        ratio = i383 / i300
+        assert 5.0 < ratio < 50.0
+
+    def test_monotone_increasing_in_temperature(self, node70):
+        temps = [280.0, 300.0, 330.0, 360.0, 383.15, 400.0]
+        currents = leakage_vs_temperature(node70, temps, vdd=0.9)
+        assert all(b > a for a, b in zip(currents, currents[1:]))
+
+    def test_monotone_increasing_in_vdd_dibl(self, node70):
+        """DIBL: higher drain bias lowers the barrier, raising leakage."""
+        vdds = [0.5, 0.7, 0.9, 1.0, 1.1]
+        currents = leakage_vs_vdd(node70, vdds, temp_k=300.0)
+        assert all(b > a for a, b in zip(currents, currents[1:]))
+
+    def test_dibl_factor_normalised_at_vdd0(self, node70):
+        """At Vdd = Vdd0 the DIBL factor is exactly 1 by construction."""
+        i_nominal = unit_leakage(node70, vdd=node70.vdd0, temp_k=300.0)
+        # Manually rebuild Equation 2 with DIBL factor 1.
+        vt = thermal_voltage(300.0)
+        vth = node70.vth_n
+        expected = (
+            node70.mu0_n
+            * node70.cox
+            * vt
+            * vt
+            * (1.0 - math.exp(-node70.vdd0 / vt))
+            * math.exp((-vth - node70.voff) / (node70.subthreshold_swing_n * vt))
+        )
+        assert i_nominal == pytest.approx(expected, rel=1e-9)
+
+    def test_proportional_to_aspect_ratio(self, node70):
+        i1 = unit_leakage(node70, vdd=0.9, w_over_l=1.0)
+        i3 = unit_leakage(node70, vdd=0.9, w_over_l=3.0)
+        assert i3 == pytest.approx(3.0 * i1, rel=1e-9)
+
+    def test_pmos_leaks_less_than_nmos(self, node70):
+        """Lower hole mobility and higher |Vth| make PMOS leak less."""
+        i_n = unit_leakage(node70, vdd=0.9, pmos=False)
+        i_p = unit_leakage(node70, vdd=0.9, pmos=True)
+        assert i_p < i_n
+
+    def test_vth_shift_suppresses_exponentially(self, node70):
+        i0 = unit_leakage(node70, vdd=0.9, temp_k=300.0)
+        i_hi = unit_leakage(node70, vdd=0.9, temp_k=300.0, vth_shift=0.1)
+        vt = thermal_voltage(300.0)
+        expected_ratio = math.exp(-0.1 / (node70.subthreshold_swing_n * vt))
+        assert i_hi / i0 == pytest.approx(expected_ratio, rel=1e-6)
+
+    def test_defaults_to_nominal_vdd(self, node70):
+        assert unit_leakage(node70) == pytest.approx(
+            unit_leakage(node70, vdd=node70.vdd0)
+        )
+
+    def test_negative_vdd_rejected(self, node70):
+        with pytest.raises(ValueError):
+            unit_leakage(node70, vdd=-0.1)
+
+    def test_length_multiplier_shortens_channel(self, node70):
+        # W/L grows as L shrinks: leakage ~ 1/length_mult.
+        i_short = unit_leakage(node70, vdd=0.9, length_mult=0.5)
+        i_nom = unit_leakage(node70, vdd=0.9)
+        assert i_short == pytest.approx(2.0 * i_nom, rel=1e-9)
+
+    def test_tox_multiplier_reduces_cox(self, node70):
+        i_thick = unit_leakage(node70, vdd=0.9, tox_mult=2.0)
+        i_nom = unit_leakage(node70, vdd=0.9)
+        assert i_thick == pytest.approx(0.5 * i_nom, rel=1e-9)
+
+    def test_older_nodes_leak_less(self):
+        """Scaling trend: higher Vth at older nodes dominates."""
+        i180 = unit_leakage(get_node("180nm"))
+        i70 = unit_leakage(get_node("70nm"))
+        assert i180 < i70
+
+
+class TestDeviceCurrent:
+    def test_matches_unit_leakage_at_reference_bias(self, node70):
+        dev = DeviceParams(node=node70)
+        i_dev = device_subthreshold_current(dev, vgs=0.0, vds=0.9, temp_k=300.0)
+        assert i_dev == pytest.approx(
+            unit_leakage(node70, vdd=0.9, temp_k=300.0), rel=1e-12
+        )
+
+    def test_zero_vds_means_zero_current(self, node70):
+        dev = DeviceParams(node=node70)
+        assert device_subthreshold_current(dev, vgs=0.0, vds=0.0) == 0.0
+
+    def test_negative_gate_drive_suppresses(self, node70):
+        dev = DeviceParams(node=node70)
+        i0 = device_subthreshold_current(dev, vgs=0.0, vds=0.9)
+        i_neg = device_subthreshold_current(dev, vgs=-0.2, vds=0.9)
+        assert i_neg < i0 / 50.0
+
+    def test_gate_drive_capped_at_threshold(self, node70):
+        """The subthreshold expression must not explode for ON gate bias."""
+        dev = DeviceParams(node=node70)
+        i_at_vth = device_subthreshold_current(
+            dev, vgs=dev.vth_at(300.0), vds=0.9, temp_k=300.0
+        )
+        i_beyond = device_subthreshold_current(dev, vgs=5.0, vds=0.9, temp_k=300.0)
+        assert i_beyond == pytest.approx(i_at_vth)
+
+    def test_body_bias_raises_threshold(self, node70):
+        dev = DeviceParams(node=node70)
+        i0 = device_subthreshold_current(dev, vgs=0.0, vds=0.9, vsb=0.0)
+        i_body = device_subthreshold_current(dev, vgs=0.0, vds=0.9, vsb=0.5)
+        assert i_body < i0
+
+    def test_negative_vds_rejected(self, node70):
+        dev = DeviceParams(node=node70)
+        with pytest.raises(ValueError):
+            device_subthreshold_current(dev, vgs=0.0, vds=-0.1)
+
+    def test_vth_decreases_with_temperature(self, node70):
+        dev = DeviceParams(node=node70)
+        assert dev.vth_at(383.15) < dev.vth_at(300.0)
+
+    def test_vth_floored_positive(self, node70):
+        dev = DeviceParams(node=node70, vth_shift=-5.0)
+        assert dev.vth_at(300.0) >= 0.01

@@ -1,0 +1,178 @@
+"""Tests for the plain set-associative cache and the memory hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.cpu.config import MachineConfig
+from repro.leakage.structures import CacheGeometry
+from repro.power.wattch import EnergyAccountant, default_power_config
+
+TINY = CacheGeometry(size_bytes=4 * 64 * 2, assoc=2, line_bytes=64)  # 4 sets
+
+
+def addr_for(cache: Cache, set_idx: int, tag: int) -> int:
+    return cache.line_addr_of(set_idx, tag)
+
+
+class TestCacheMechanics:
+    @pytest.fixture()
+    def cache(self):
+        return Cache("t", TINY)
+
+    def test_slice_roundtrip(self, cache):
+        for set_idx in range(4):
+            for tag in (0, 1, 77, 12345):
+                addr = cache.line_addr_of(set_idx, tag)
+                s, t = cache.slice_addr(addr)
+                assert (s, t) == (set_idx, tag)
+
+    def test_offset_does_not_change_line(self, cache):
+        base = cache.line_addr_of(2, 9)
+        assert cache.slice_addr(base + 63) == cache.slice_addr(base)
+        assert cache.slice_addr(base + 64) != cache.slice_addr(base)
+
+    def test_miss_then_hit(self, cache):
+        addr = addr_for(cache, 0, 5)
+        hit, _ = cache.access(addr)
+        assert not hit
+        hit, _ = cache.access(addr)
+        assert hit
+        assert cache.stats.accesses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction_order(self, cache):
+        a = addr_for(cache, 1, 10)
+        b = addr_for(cache, 1, 11)
+        c = addr_for(cache, 1, 12)
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a MRU, b LRU
+        cache.access(c)  # evicts b
+        hit_a, _ = cache.access(a)
+        hit_b, _ = cache.access(b)
+        assert hit_a
+        assert not hit_b
+
+    def test_writeback_on_dirty_eviction(self, cache):
+        a = addr_for(cache, 2, 1)
+        b = addr_for(cache, 2, 2)
+        c = addr_for(cache, 2, 3)
+        cache.access(a, is_write=True)
+        cache.access(b)
+        _, victim = cache.access(c)  # evicts dirty a
+        assert victim is not None
+        assert victim.addr == a
+        assert victim.dirty
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self, cache):
+        a = addr_for(cache, 2, 1)
+        b = addr_for(cache, 2, 2)
+        c = addr_for(cache, 2, 3)
+        cache.access(a)
+        cache.access(b)
+        _, victim = cache.access(c)
+        assert victim is None
+
+    def test_write_allocate(self, cache):
+        addr = addr_for(cache, 3, 7)
+        hit, _ = cache.access(addr, is_write=True)
+        assert not hit
+        hit, _ = cache.access(addr)
+        assert hit
+
+    def test_invalid_ways_filled_first(self, cache):
+        a = addr_for(cache, 0, 1)
+        cache.access(a)
+        b = addr_for(cache, 0, 2)
+        cache.access(b)  # second way, no eviction of a
+        hit_a, _ = cache.access(a)
+        assert hit_a
+
+    def test_invalidate(self, cache):
+        addr = addr_for(cache, 0, 4)
+        cache.access(addr, is_write=True)
+        assert cache.invalidate(addr)
+        hit, _ = cache.access(addr)
+        assert not hit
+        assert not cache.invalidate(addr_for(cache, 0, 99))
+
+    def test_valid_line_count(self, cache):
+        assert cache.valid_line_count() == 0
+        cache.access(addr_for(cache, 0, 1))
+        cache.access(addr_for(cache, 1, 1))
+        assert cache.valid_line_count() == 2
+
+    def test_probe_does_not_touch_lru(self, cache):
+        a = addr_for(cache, 1, 10)
+        b = addr_for(cache, 1, 11)
+        cache.access(a)
+        cache.access(b)  # LRU: a
+        cache.probe(a)  # must NOT promote a
+        c = addr_for(cache, 1, 12)
+        cache.access(c)  # evicts a (still LRU)
+        hit_a, _ = cache.access(a)
+        assert not hit_a
+
+
+class TestMemoryHierarchy:
+    @pytest.fixture()
+    def hier(self):
+        machine = MachineConfig()
+        acct = EnergyAccountant(config=default_power_config())
+        return MemoryHierarchy(machine, acct), machine, acct
+
+    def test_l1_hit_latency(self, hier):
+        h, machine, _ = hier
+        addr = 0x1000
+        h.data_access(addr, is_write=False, cycle=0)  # install
+        result = h.data_access(addr, is_write=False, cycle=10)
+        assert result.l1_hit
+        assert result.latency == machine.l1d_latency
+
+    def test_l2_hit_latency(self, hier):
+        h, machine, _ = hier
+        addr = 0x2000
+        h.l2.access(addr)  # preload L2 only
+        result = h.data_access(addr, is_write=False, cycle=0)
+        assert not result.l1_hit
+        assert result.latency == machine.l1d_latency + machine.l2_latency
+
+    def test_memory_latency_on_cold_miss(self, hier):
+        h, machine, _ = hier
+        result = h.data_access(0x3000, is_write=False, cycle=0)
+        assert result.latency == (
+            machine.l1d_latency + machine.l2_latency + machine.mem_latency
+        )
+
+    def test_inst_fetch_hit_latency(self, hier):
+        h, machine, _ = hier
+        h.inst_fetch(0x400000, 0)
+        assert h.inst_fetch(0x400000, 1) == machine.l1i_latency
+
+    def test_energy_events_recorded(self, hier):
+        h, _, acct = hier
+        h.data_access(0x5000, is_write=False, cycle=0)
+        assert acct.counts["l1d_read"] == 1
+        assert acct.counts["l2_access"] == 1
+        assert acct.counts["mem_access"] >= 1
+        assert acct.counts["l1d_fill"] == 1
+
+    def test_writeback_energy_on_dirty_eviction(self, hier):
+        h, machine, acct = hier
+        g = machine.l1d_geometry
+        # Fill one set's ways with dirty lines, then overflow it.
+        base = 0x100 << (g.offset_bits + g.index_bits)
+        set_bits = 0
+        addrs = [
+            ((tag << g.index_bits) | set_bits) << g.offset_bits
+            for tag in (1, 2, 3)
+        ]
+        h.data_access(addrs[0], is_write=True, cycle=0)
+        h.data_access(addrs[1], is_write=True, cycle=1)
+        h.data_access(addrs[2], is_write=True, cycle=2)
+        assert acct.counts["l2_writeback"] >= 1

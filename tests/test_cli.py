@@ -1,0 +1,108 @@
+"""Tests for the repro-paper command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "gcc", "drowsy"])
+        assert args.l2 == 11
+        assert args.temp == 110.0
+        assert args.interval == 4096
+        assert not args.adaptive
+
+    def test_figure_ops_flag(self):
+        args = build_parser().parse_args(["figure", "3_4", "--ops", "500"])
+        assert args.ops == 500
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "settling times" in out
+        assert "80-RUU, 40-LSQ" in out
+
+    def test_run_produces_metrics(self, capsys):
+        code = main(["run", "gcc", "drowsy", "--ops", "2000", "--l2", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "net savings" in out
+        assert "performance loss" in out
+        assert "gcc / drowsy on l1d @ L2=5" in out
+
+    def test_run_unknown_benchmark(self, capsys):
+        assert main(["run", "nonesuch", "drowsy"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_run_unknown_technique(self):
+        with pytest.raises(KeyError):
+            main(["run", "gcc", "quantum"])
+
+    def test_figure_unknown_name(self, capsys):
+        assert main(["figure", "99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_figure_small(self, capsys):
+        code = main(["figure", "3_4", "--ops", "1000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AVERAGE" in out
+        assert "Figures 3/4" in out
+
+    def test_sweep_small(self, capsys):
+        code = main(["sweep", "gcc", "gated-vss", "--ops", "1500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best interval" in out
+        assert "decay-interval sweep" in out
+
+
+class TestPowerFlag:
+    def test_run_power_breakdown(self, capsys):
+        from repro.cli import main
+
+        code = main(["run", "gcc", "drowsy", "--ops", "2000", "--power"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dynamic power breakdown" in out
+        assert "l1_dcache" in out
+        assert "clock" in out
+
+
+class TestReproduceAndValidateCommands:
+    def test_quick_reproduce_subset(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "res"
+        code = main(
+            ["reproduce", "--out", str(out), "--quick",
+             "--benchmarks", "gcc,gzip"]
+        )
+        assert code == 0
+        assert (out / "SUMMARY.txt").exists()
+        assert (out / "fig03_04_l2_5.json").exists()
+
+    def test_validate_command_on_missing_dir(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["validate", str(tmp_path / "nowhere")]) == 2
+        assert "missing artefact" in capsys.readouterr().err
+
+
+class TestEngineFlag:
+    def test_fast_engine_run(self, capsys):
+        from repro.cli import main
+
+        code = main(["run", "gcc", "drowsy", "--ops", "2000",
+                     "--engine", "fast"])
+        assert code == 0
+        assert "net savings" in capsys.readouterr().out

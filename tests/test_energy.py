@@ -1,0 +1,155 @@
+"""Tests for the net-savings energy accounting (paper Sections 2.3/5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.leakage.structures import CacheLeakageModel, L1D_GEOMETRY
+from repro.leakctl.base import drowsy_technique, gated_vss_technique
+from repro.leakctl.controlled import StandbyStats
+from repro.leakctl.energy import (
+    EVENT_TIME_SCALE,
+    NetSavingsResult,
+    baseline_leakage_energy,
+    technique_leakage_energy,
+    uncontrolled_leakage_power,
+)
+
+FREQ = 5.6e9
+
+
+@pytest.fixture(scope="module")
+def model(node70, hot_temp_k):
+    return CacheLeakageModel(
+        geometry=L1D_GEOMETRY, node=node70, vdd=0.9, temp_k=hot_temp_k
+    )
+
+
+def make_result(**overrides) -> NetSavingsResult:
+    defaults = dict(
+        benchmark="x",
+        technique="drowsy",
+        decay_interval=4096,
+        l2_latency=11,
+        temp_c=110.0,
+        baseline_cycles=10_000,
+        technique_cycles=10_000,
+        leak_baseline_j=1.0e-6,
+        leak_technique_j=0.4e-6,
+        dyn_baseline_j=10.0e-6,
+        dyn_technique_j=10.0e-6,
+        clock_baseline_j=4.0e-6,
+        clock_technique_j=4.0e-6,
+        turnoff_ratio=0.5,
+        induced_misses=0,
+        slow_hits=0,
+        true_misses=0,
+        accesses=0,
+        uncontrolled_power_w=0.0,
+        frequency_hz=FREQ,
+    )
+    defaults.update(overrides)
+    return NetSavingsResult(**defaults)
+
+
+class TestLeakageEnergies:
+    def test_baseline_energy_formula(self, model):
+        e = baseline_leakage_energy(model, 10_000, FREQ)
+        assert e == pytest.approx(
+            model.total_power_all_active() * 10_000 / FREQ
+        )
+
+    def test_technique_energy_all_active_equals_baseline(self, model):
+        """Zero standby cycles: the technique integral must equal the
+        baseline's for equal cycle counts."""
+        stats = StandbyStats(standby_line_cycles=0.0, total_cycles=10_000)
+        e_tech = technique_leakage_energy(model, drowsy_technique(), stats, FREQ)
+        e_base = baseline_leakage_energy(model, 10_000, FREQ)
+        assert e_tech == pytest.approx(e_base, rel=1e-9)
+
+    def test_full_standby_floor(self, model):
+        """Everything asleep: only residual + edge logic remain."""
+        n = model.geometry.n_lines
+        stats = StandbyStats(
+            standby_line_cycles=float(n * 10_000), total_cycles=10_000
+        )
+        e_gated = technique_leakage_energy(model, gated_vss_technique(), stats, FREQ)
+        e_base = baseline_leakage_energy(model, 10_000, FREQ)
+        assert e_gated < 0.05 * e_base + model.edge_logic_power * 10_000 / FREQ
+
+    def test_gated_integral_below_drowsy_for_same_stats(self, model):
+        n = model.geometry.n_lines
+        stats = StandbyStats(
+            standby_line_cycles=float(n * 5_000), total_cycles=10_000
+        )
+        e_drowsy = technique_leakage_energy(model, drowsy_technique(), stats, FREQ)
+        e_gated = technique_leakage_energy(model, gated_vss_technique(), stats, FREQ)
+        assert e_gated < e_drowsy
+
+    def test_tags_awake_ablation_charges_full_tag_leakage(self, model):
+        n = model.geometry.n_lines
+        stats = StandbyStats(
+            standby_line_cycles=float(n * 9_000), total_cycles=10_000
+        )
+        with_tags = technique_leakage_energy(
+            model, drowsy_technique(decay_tags=True), stats, FREQ
+        )
+        without = technique_leakage_energy(
+            model, drowsy_technique(decay_tags=False), stats, FREQ
+        )
+        assert without > with_tags
+
+    def test_standby_cycles_clamped_to_capacity(self, model):
+        stats = StandbyStats(standby_line_cycles=1e18, total_cycles=10_000)
+        e = technique_leakage_energy(model, gated_vss_technique(), stats, FREQ)
+        assert e > 0.0
+
+
+class TestNetSavingsAlgebra:
+    def test_pure_leakage_savings(self):
+        r = make_result()
+        assert r.net_savings_pct == pytest.approx(60.0)
+        assert r.gross_savings_pct == pytest.approx(60.0)
+        assert r.perf_loss_pct == 0.0
+
+    def test_event_overhead_deflated_by_time_scale(self):
+        r = make_result(dyn_technique_j=10.0e-6 + 1.0e-6 * EVENT_TIME_SCALE)
+        # 1 uJ * scale of event energy -> 1 uJ charged -> -100 points.
+        assert r.dynamic_overhead_j == pytest.approx(1.0e-6)
+        assert r.net_savings_pct == pytest.approx(60.0 - 100.0)
+
+    def test_clock_overhead_full_weight(self):
+        r = make_result(
+            dyn_technique_j=10.5e-6,
+            clock_technique_j=4.5e-6,
+        )
+        # All of the extra 0.5 uJ is clock: charged at full weight.
+        assert r.dynamic_overhead_j == pytest.approx(0.5e-6)
+
+    def test_runtime_leakage_term(self):
+        r = make_result(
+            technique_cycles=10_100,
+            uncontrolled_power_w=5.6,  # 1 J per 1e9 cycles at 5.6 GHz
+        )
+        assert r.runtime_leakage_j == pytest.approx(100 * 5.6 / FREQ)
+        assert r.perf_loss_pct == pytest.approx(1.0)
+        assert r.net_savings_pct < 60.0
+
+    def test_event_scale_disable(self):
+        r = make_result(
+            dyn_technique_j=11.0e-6,
+            event_time_scale=1.0,
+        )
+        assert r.dynamic_overhead_j == pytest.approx(1.0e-6)
+
+    def test_uncontrolled_power_magnitude(self, model):
+        """L1I + high-Vt L2 + regfile: a few x the L1D's own leakage."""
+        p = uncontrolled_leakage_power(model)
+        l1d = model.total_power_all_active()
+        assert 2.0 * l1d < p < 10.0 * l1d
+
+    def test_turnoff_and_counts_pass_through(self):
+        r = make_result(turnoff_ratio=0.73, induced_misses=42, slow_hits=7)
+        assert r.turnoff_ratio == 0.73
+        assert r.induced_misses == 42
+        assert r.slow_hits == 7

@@ -1,0 +1,150 @@
+"""Tests for the JSON export of experiment results."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    SCHEMA_VERSION,
+    figure_to_dict,
+    result_to_dict,
+    save_json,
+)
+from repro.experiments.figures import comparison_figure
+from repro.experiments.runner import figure_point
+from repro.leakctl.base import drowsy_technique
+
+FAST = dict(n_ops=2000, seed=1)
+
+
+class TestResultExport:
+    def test_result_dict_round_trips_through_json(self):
+        r = figure_point("gcc", drowsy_technique(), l2_latency=5, **FAST)
+        d = result_to_dict(r)
+        restored = json.loads(json.dumps(d))
+        assert restored["benchmark"] == "gcc"
+        assert restored["technique"] == "drowsy"
+        assert restored["l2_latency"] == 5
+        assert restored["net_savings_pct"] == pytest.approx(r.net_savings_pct)
+        assert restored["turnoff_ratio"] == pytest.approx(r.turnoff_ratio)
+
+    def test_result_dict_keys_stable(self):
+        r = figure_point("gcc", drowsy_technique(), l2_latency=5, **FAST)
+        d = result_to_dict(r)
+        expected = {
+            "benchmark", "technique", "decay_interval", "l2_latency",
+            "temp_c", "net_savings_pct", "gross_savings_pct",
+            "perf_loss_pct", "turnoff_ratio", "baseline_cycles",
+            "technique_cycles", "leak_baseline_j", "leak_technique_j",
+            "dyn_baseline_j", "dyn_technique_j", "induced_misses",
+            "slow_hits", "true_misses", "accesses", "event_time_scale",
+            "uncontrolled_power_w", "energy_ratio", "ed2_ratio",
+        }
+        assert set(d) == expected
+
+
+class TestFigureExport:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return comparison_figure(
+            l2_latency=5,
+            temp_c=110.0,
+            title="export smoke",
+            benchmarks=("gcc", "gzip"),
+            n_ops=2000,
+        )
+
+    def test_figure_dict_structure(self, fig):
+        d = figure_to_dict(fig)
+        assert d["schema_version"] == SCHEMA_VERSION
+        assert d["kind"] == "comparison"
+        assert len(d["rows"]) == 2
+        assert {r["benchmark"] for r in d["rows"]} == {"gcc", "gzip"}
+        assert "drowsy_net_savings_pct" in d["averages"]
+        assert d["averages"]["gated_win_count"] == fig.gated_win_count
+
+    def test_save_json_writes_valid_file(self, fig, tmp_path):
+        path = save_json(figure_to_dict(fig), tmp_path / "fig.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["kind"] == "comparison"
+        assert loaded["l2_latency"] == 5
+
+    def test_cli_json_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = tmp_path / "f.json"
+        code = main(["figure", "3_4", "--ops", "1000", "--json", str(out_path)])
+        assert code == 0
+        assert out_path.exists()
+        loaded = json.loads(out_path.read_text())
+        assert len(loaded["rows"]) == 11
+
+
+class TestCampaign:
+    def test_quick_campaign_produces_all_artefacts(self, tmp_path):
+        from repro.experiments.campaign import run_campaign
+
+        messages = []
+        result = run_campaign(
+            tmp_path, quick=True, benchmarks=("gcc", "gzip"),
+            progress=messages.append,
+        )
+        expected = {
+            "tab1_settling", "tab2_machine",
+            "fig03_04_l2_5", "fig05_06_l2_8", "fig07_l2_11_85c",
+            "fig08_09_l2_11_110c", "fig10_11_l2_17",
+            "fig12_13_best_interval", "tab3_best_intervals",
+        }
+        assert set(result.artefacts) == expected
+        for path in result.artefacts.values():
+            assert path.exists() and path.stat().st_size > 0
+        # JSON companions for the figures.
+        assert (tmp_path / "fig03_04_l2_5.json").exists()
+        assert (tmp_path / "SUMMARY.txt").exists()
+        assert any("fig12_13" in m for m in messages)
+        assert "fig03_04_l2_5" in result.verdicts
+
+    def test_campaign_summary_mentions_everything(self, tmp_path):
+        from repro.experiments.campaign import CampaignResult
+
+        res = CampaignResult(out_dir=tmp_path)
+        res.artefacts["x"] = tmp_path / "x.txt"
+        res.verdicts["x"] = "drowsy"
+        text = res.summary()
+        assert "x.txt" in text and "drowsy" in text
+
+
+class TestSensitivity:
+    def test_perturbation_identity(self):
+        """Multiplier 1.0 must leave the result unchanged."""
+        from repro.experiments.sensitivity import perturbed
+
+        r = figure_point("gcc", drowsy_technique(), l2_latency=5, **FAST)
+        same = perturbed(r)
+        assert same.net_savings_pct == pytest.approx(r.net_savings_pct)
+
+    def test_worse_residual_lowers_savings(self):
+        from repro.experiments.sensitivity import perturbed
+
+        r = figure_point("gcc", drowsy_technique(), l2_latency=5, **FAST)
+        worse = perturbed(r, residual_mult=2.0)
+        better = perturbed(r, residual_mult=0.5)
+        assert worse.net_savings_pct < r.net_savings_pct
+        assert better.net_savings_pct > r.net_savings_pct
+
+    def test_verdict_stability_map(self):
+        from repro.experiments.sensitivity import (
+            SensitivityPoint,
+            verdict_stability,
+        )
+
+        points = [
+            SensitivityPoint("k", 0.5, 10.0, 20.0),
+            SensitivityPoint("k", 1.0, 10.0, 20.0),
+            SensitivityPoint("k", 2.0, 25.0, 20.0),  # flips
+            SensitivityPoint("j", 1.0, 10.0, 20.0),
+        ]
+        stab = verdict_stability(points)
+        assert stab == {"k": False, "j": True}

@@ -1,0 +1,83 @@
+"""Tests for gate (direct-tunnelling) leakage and GIDL (paper Section 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.leakage.gate import (
+    gate_leakage_per_um,
+    gidl_multiplier,
+    transistor_gate_leakage,
+)
+from repro.tech.nodes import get_node
+
+
+class TestGateLeakage:
+    def test_paper_calibration_anchor(self, node70):
+        """40 nA/um at 1.2 nm tox, 0.9 V, 300 K (paper Section 3.2)."""
+        i = gate_leakage_per_um(node70, vdd=0.9, temp_k=300.0)
+        assert i == pytest.approx(40e-9, rel=1e-9)
+
+    def test_negligible_at_older_nodes(self, node180):
+        assert gate_leakage_per_um(node180, vdd=1.8) == 0.0
+        assert gate_leakage_per_um(get_node("130nm"), vdd=1.35) == 0.0
+
+    def test_present_at_100nm(self):
+        assert gate_leakage_per_um(get_node("100nm"), vdd=1.08) > 0.0
+
+    def test_strong_exponential_tox_dependence(self, node70):
+        """Thicker oxide must suppress tunnelling dramatically."""
+        nominal = gate_leakage_per_um(node70, vdd=0.9)
+        thick = gate_leakage_per_um(node70, vdd=0.9, tox_mult=1.2)
+        assert thick < nominal / 5.0
+
+    def test_thinner_oxide_leaks_more(self, node70):
+        nominal = gate_leakage_per_um(node70, vdd=0.9)
+        thin = gate_leakage_per_um(node70, vdd=0.9, tox_mult=0.9)
+        assert thin > 2.0 * nominal
+
+    def test_power_law_vdd_dependence(self, node70):
+        i_low = gate_leakage_per_um(node70, vdd=0.45)
+        i_high = gate_leakage_per_um(node70, vdd=0.9)
+        assert i_high / i_low == pytest.approx(2.0**4, rel=1e-6)
+
+    def test_weak_temperature_dependence(self, node70):
+        """Paper: gate leakage is weakly dependent on temperature."""
+        i300 = gate_leakage_per_um(node70, vdd=0.9, temp_k=300.0)
+        i383 = gate_leakage_per_um(node70, vdd=0.9, temp_k=383.15)
+        assert 1.0 < i383 / i300 < 1.2  # vs the subthreshold ~15x
+
+    def test_zero_vdd_zero_leakage(self, node70):
+        assert gate_leakage_per_um(node70, vdd=0.0) == 0.0
+
+    def test_negative_vdd_rejected(self, node70):
+        with pytest.raises(ValueError):
+            gate_leakage_per_um(node70, vdd=-0.5)
+
+    def test_transistor_gate_leakage_scales_with_width(self, node70):
+        i1 = transistor_gate_leakage(node70, w_over_l=1.0, vdd=0.9)
+        i4 = transistor_gate_leakage(node70, w_over_l=4.0, vdd=0.9)
+        assert i4 == pytest.approx(4.0 * i1, rel=1e-9)
+
+    def test_transistor_gate_leakage_magnitude(self, node70):
+        """A minimum-width 70 nm device: 0.07 um x 40 nA/um = 2.8 nA."""
+        i = transistor_gate_leakage(node70, w_over_l=1.0, vdd=0.9, temp_k=300.0)
+        assert i == pytest.approx(2.8e-9, rel=1e-6)
+
+
+class TestGIDL:
+    def test_no_bias_no_multiplier(self, node70):
+        assert gidl_multiplier(node70, 0.0) == pytest.approx(1.0)
+
+    def test_grows_exponentially_with_bias(self, node70):
+        m1 = gidl_multiplier(node70, 0.2)
+        m2 = gidl_multiplier(node70, 0.4)
+        assert m2 == pytest.approx(m1 * m1, rel=1e-9)
+
+    def test_worse_at_smaller_nodes(self, node180, node70):
+        """The paper's stated reason RBB fades at future nodes."""
+        assert gidl_multiplier(node70, 0.4) > gidl_multiplier(node180, 0.4)
+
+    def test_negative_bias_rejected(self, node70):
+        with pytest.raises(ValueError):
+            gidl_multiplier(node70, -0.3)

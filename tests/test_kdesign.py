@@ -1,0 +1,103 @@
+"""Tests for dual-k_design derivation (paper Equations 3-8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.library import inverter, nand2
+from repro.leakage.bsim3 import unit_leakage
+from repro.leakage.kdesign import (
+    KDesign,
+    derive_kdesign,
+    kdesign_surface,
+)
+from repro.circuits.netlist import Netlist
+from repro.circuits.solver import LeakageSolver
+import itertools
+
+
+class TestDeriveKDesign:
+    def test_nand2_factors_in_unit_range(self, node70):
+        """Stacking and input averaging keep k_n, k_p below 1."""
+        kd = derive_kdesign(nand2(), node70, vdd=0.9, temp_k=300.0)
+        assert 0.0 < kd.kn < 1.0
+        assert 0.0 < kd.kp < 1.0
+        assert kd.n_nmos == 2
+        assert kd.n_pmos == 2
+
+    def test_equation3_reconstructs_average_leakage(self, node70):
+        """I_cell from Eq. 3 must equal the input-averaged solver leakage.
+
+        This is the defining identity of Equations 5/6: summing the
+        combination leakages and normalising, then multiplying back, gives
+        the average cell leakage exactly.
+        """
+        net = nand2()
+        kd = derive_kdesign(net, node70, vdd=0.9, temp_k=300.0)
+        i_n = unit_leakage(node70, vdd=0.9, temp_k=300.0, pmos=False)
+        i_p = unit_leakage(node70, vdd=0.9, temp_k=300.0, pmos=True)
+        reconstructed = kd.cell_current(i_n, i_p)
+
+        solver = LeakageSolver(node70, vdd=0.9, temp_k=300.0)
+        total = 0.0
+        combos = list(itertools.product((0, 1), repeat=2))
+        for combo in combos:
+            total += solver.leakage_for_inputs(net, dict(zip(net.inputs, combo)))
+        average = total / len(combos)
+        assert reconstructed == pytest.approx(average, rel=1e-6)
+
+    def test_inverter_factors(self, node70):
+        kd = derive_kdesign(inverter(), node70, vdd=0.9, temp_k=300.0)
+        # No stacks in an inverter: each device leaks at roughly its sized
+        # unit current in the one combination that turns it off, averaged
+        # over 2 combinations.  With W/L(n)=1 -> kn ~ 0.5.
+        assert kd.kn == pytest.approx(0.5, rel=0.25)
+
+    def test_requires_inputs_and_output(self, node70):
+        bare = Netlist(name="bare", inputs=(), output="out")
+        with pytest.raises(ValueError, match="inputs"):
+            derive_kdesign(bare, node70)
+        no_out = Netlist(name="noout", inputs=("a",), output="")
+        with pytest.raises(ValueError, match="output"):
+            derive_kdesign(no_out, node70)
+
+    def test_kn_nearly_independent_of_vth(self, node70):
+        """Paper: k_n and k_p are independent of threshold voltage."""
+        kd_base = derive_kdesign(nand2(), node70, vdd=0.9, temp_k=300.0)
+        shifted = node70.with_overrides(vth_n=0.24, vth_p=0.26)
+        kd_shift = derive_kdesign(nand2(), shifted, vdd=0.9, temp_k=300.0)
+        assert kd_shift.kn == pytest.approx(kd_base.kn, rel=0.15)
+        assert kd_shift.kp == pytest.approx(kd_base.kp, rel=0.15)
+
+
+class TestKDesignSurface:
+    def test_surface_matches_exact_derivation(self, node70):
+        """The linear (T, Vdd) fit tracks the exact enumeration closely —
+        the paper's observed linearity of k_n/k_p."""
+        surface = kdesign_surface("nand2", "70nm")
+        exact = derive_kdesign(nand2(), node70, vdd=0.9, temp_k=350.0)
+        fitted = surface.at(350.0, 0.9)
+        assert fitted.kn == pytest.approx(exact.kn, rel=0.05)
+        assert fitted.kp == pytest.approx(exact.kp, rel=0.05)
+
+    def test_surface_cached(self):
+        a = kdesign_surface("nand2", "70nm")
+        b = kdesign_surface("nand2", "70nm")
+        assert a is b
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(KeyError, match="unknown cell"):
+            kdesign_surface("xor9", "70nm")
+
+    def test_factors_never_negative(self):
+        surface = kdesign_surface("inv", "70nm")
+        # Extrapolate far out; clamping keeps factors physical.
+        assert surface.kn(100.0, 0.2) >= 0.0
+        assert surface.kp(500.0, 1.5) >= 0.0
+
+    def test_at_bundles_counts(self):
+        surface = kdesign_surface("nand3", "70nm")
+        kd = surface.at(300.0, 1.0)
+        assert isinstance(kd, KDesign)
+        assert kd.n_nmos == 3
+        assert kd.n_pmos == 3

@@ -1,0 +1,218 @@
+"""Tests for cell and structure leakage models and the HotLeakage facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.leakage.cells import LogicCellModel, SRAMCellModel, logic_cell
+from repro.leakage.model import HotLeakage
+from repro.leakage.structures import (
+    ADDRESS_BITS,
+    CacheGeometry,
+    CacheLeakageModel,
+    L1D_GEOMETRY,
+    L2_GEOMETRY,
+    RegFileGeometry,
+    RegFileLeakageModel,
+)
+from repro.tech.variation import VariationSpec
+
+
+class TestCacheGeometry:
+    def test_paper_l1d_geometry(self):
+        g = L1D_GEOMETRY
+        assert g.size_bytes == 64 * 1024
+        assert g.assoc == 2
+        assert g.line_bytes == 64
+        assert g.n_sets == 512
+        assert g.n_lines == 1024
+
+    def test_tag_bits(self):
+        g = L1D_GEOMETRY
+        assert g.tag_bits == ADDRESS_BITS - 9 - 6  # 512 sets, 64 B lines
+
+    def test_l2_geometry(self):
+        assert L2_GEOMETRY.n_sets == 16384
+        assert L2_GEOMETRY.n_lines == 32768
+
+    def test_data_bits_per_line(self):
+        assert L1D_GEOMETRY.data_bits_per_line == 512
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=64 * 1024, assoc=2, line_bytes=48)
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=1000, assoc=3, line_bytes=64)
+
+    def test_geometry_hashable_for_model_caching(self):
+        assert hash(L1D_GEOMETRY) == hash(
+            CacheGeometry(size_bytes=64 * 1024, assoc=2, line_bytes=64)
+        )
+
+
+class TestSRAMCellModel:
+    def test_power_equals_vdd_times_current(self, node70):
+        cell = SRAMCellModel(node=node70)
+        p = cell.power(vdd=0.9, temp_k=300.0)
+        i = cell.total_current(vdd=0.9, temp_k=300.0)
+        assert p == pytest.approx(0.9 * i)
+
+    def test_gate_leakage_included_at_70nm(self, node70):
+        cell = SRAMCellModel(node=node70)
+        sub = cell.subthreshold_current(vdd=0.9, temp_k=300.0)
+        total = cell.total_current(vdd=0.9, temp_k=300.0)
+        assert total > sub
+
+    def test_gate_leakage_absent_at_180nm(self, node180):
+        cell = SRAMCellModel(node=node180)
+        assert cell.gate_current(vdd=1.8) == 0.0
+
+    def test_variation_raises_mean_leakage(self, node70):
+        """Inter-die averaging of a convex function raises the mean."""
+        cell = SRAMCellModel(node=node70)
+        nominal = cell.subthreshold_current(vdd=0.9, temp_k=300.0)
+        varied = cell.subthreshold_current(
+            vdd=0.9, temp_k=300.0, variation=VariationSpec(samples=400)
+        )
+        assert varied > nominal
+
+    def test_kdesign_reconstruction(self, node70):
+        """SRAM kn/kp must reproduce the circuit-level retention leakage."""
+        from repro.circuits.library import sram6t_leakage
+        from repro.leakage.bsim3 import unit_leakage
+
+        cell = SRAMCellModel(node=node70)
+        kd = cell.kdesign(vdd=0.9, temp_k=300.0)
+        i_n = unit_leakage(node70, vdd=0.9, temp_k=300.0)
+        i_p = unit_leakage(node70, vdd=0.9, temp_k=300.0, pmos=True)
+        assert kd.cell_current(i_n, i_p) == pytest.approx(
+            sram6t_leakage(node70, vdd=0.9, temp_k=300.0), rel=1e-9
+        )
+
+
+class TestLogicCell:
+    def test_logic_cell_cached(self, node70):
+        assert logic_cell(node70, "inv") is logic_cell(node70, "inv")
+
+    def test_nand3_leaks_more_than_inverter(self, node70):
+        inv = logic_cell(node70, "inv").total_current(vdd=0.9, temp_k=300.0)
+        nand = logic_cell(node70, "nand3").total_current(vdd=0.9, temp_k=300.0)
+        assert nand > inv
+
+
+class TestCacheLeakageModel:
+    @pytest.fixture(scope="class")
+    def model(self, node70, hot_temp_k):
+        return CacheLeakageModel(
+            geometry=L1D_GEOMETRY, node=node70, vdd=0.9, temp_k=hot_temp_k
+        )
+
+    def test_total_power_sub_watt_scale(self, model):
+        """64 KB of hot low-Vt SRAM at 110 C: high but sub-2 W."""
+        assert 0.2 < model.total_power_all_active() < 2.0
+
+    def test_tag_share_in_paper_band(self, model):
+        """Paper Section 5.3: tags are 5-10 % of cache leakage."""
+        assert 0.05 <= model.tag_share() <= 0.10
+
+    def test_line_power_ordering(self, model):
+        lp = model.line_powers(model.drowsy_fraction)
+        assert 0 < lp.data_standby < lp.data_active
+        assert 0 < lp.tag_standby < lp.tag_active
+        assert lp.line_standby < lp.line_active
+
+    def test_gated_standby_below_drowsy_standby(self, model):
+        gated = model.line_powers(model.gated_fraction)
+        drowsy = model.line_powers(model.drowsy_fraction)
+        assert gated.line_standby < drowsy.line_standby / 3.0
+
+    def test_edge_logic_small_but_positive(self, model):
+        assert 0.0 < model.edge_logic_power < model.array_power_all_active() / 10
+
+    def test_temperature_scales_power_strongly(self, node70):
+        cool = CacheLeakageModel(
+            geometry=L1D_GEOMETRY, node=node70, vdd=0.9, temp_k=358.15
+        )
+        hot = CacheLeakageModel(
+            geometry=L1D_GEOMETRY, node=node70, vdd=0.9, temp_k=383.15
+        )
+        ratio = hot.total_power_all_active() / cool.total_power_all_active()
+        assert 1.5 < ratio < 3.5
+
+
+class TestRegFile:
+    def test_more_ports_more_leakage(self, node70):
+        small = RegFileLeakageModel(
+            geometry=RegFileGeometry(read_ports=2, write_ports=0),
+            node=node70,
+            vdd=0.9,
+            temp_k=300.0,
+        )
+        big = RegFileLeakageModel(
+            geometry=RegFileGeometry(read_ports=8, write_ports=4),
+            node=node70,
+            vdd=0.9,
+            temp_k=300.0,
+        )
+        assert big.total_power() > small.total_power()
+
+    def test_cell_count(self):
+        assert RegFileGeometry(n_regs=80, width_bits=64).n_cells == 5120
+
+
+class TestHotLeakageFacade:
+    def test_default_is_paper_hot_point(self):
+        hot = HotLeakage()
+        assert hot.node.name == "70nm"
+        assert hot.temp_k == pytest.approx(383.15)
+
+    def test_temp_c_and_temp_k_exclusive(self):
+        with pytest.raises(ValueError):
+            HotLeakage("70nm", temp_c=85.0, temp_k=358.15)
+
+    def test_set_temperature_recomputes(self):
+        hot = HotLeakage("70nm", vdd=0.9, temp_c=110.0)
+        p_hot = hot.cache_model(L1D_GEOMETRY).total_power_all_active()
+        hot.set_temperature(temp_c=85.0)
+        p_cool = hot.cache_model(L1D_GEOMETRY).total_power_all_active()
+        assert p_cool < p_hot
+
+    def test_set_vdd_recomputes(self):
+        hot = HotLeakage("70nm", vdd=0.9, temp_c=110.0)
+        p_09 = hot.cache_model(L1D_GEOMETRY).total_power_all_active()
+        hot.set_vdd(0.7)
+        p_07 = hot.cache_model(L1D_GEOMETRY).total_power_all_active()
+        assert p_07 < p_09
+
+    def test_set_temperature_requires_exactly_one_arg(self):
+        hot = HotLeakage()
+        with pytest.raises(ValueError):
+            hot.set_temperature()
+        with pytest.raises(ValueError):
+            hot.set_temperature(temp_c=85.0, temp_k=358.15)
+
+    def test_invalid_vdd_rejected(self):
+        hot = HotLeakage()
+        with pytest.raises(ValueError):
+            hot.set_vdd(0.0)
+        with pytest.raises(ValueError):
+            HotLeakage("70nm", vdd=-1.0)
+
+    def test_cache_model_memoised_until_point_changes(self):
+        hot = HotLeakage()
+        a = hot.cache_model(L1D_GEOMETRY)
+        b = hot.cache_model(L1D_GEOMETRY)
+        assert a is b
+        hot.set_temperature(temp_c=85.0)
+        c = hot.cache_model(L1D_GEOMETRY)
+        assert c is not a
+
+    def test_unit_leakage_query(self):
+        hot = HotLeakage("70nm", vdd=0.9, temp_c=110.0)
+        assert hot.unit_leakage() > hot.unit_leakage(pmos=True) > 0.0
+
+    def test_regfile_model(self):
+        hot = HotLeakage()
+        assert hot.regfile_model().total_power() > 0.0

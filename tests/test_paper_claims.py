@@ -1,0 +1,181 @@
+"""End-to-end checks of the paper's headline claims (Section 5).
+
+These run real (baseline, technique) pairs at the default operating point
+and assert the *shape* of the paper's results — who wins where, and which
+way each trend points.  They use a representative benchmark subset to keep
+the suite's runtime reasonable; the benchmark harness regenerates the full
+11-benchmark figures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import figure_point
+from repro.experiments.sweeps import best_interval
+from repro.leakctl.base import drowsy_technique, gated_vss_technique
+
+SUBSET = ("gcc", "gzip", "perl", "twolf", "mcf", "crafty")
+N_OPS = 20_000
+
+
+def averages(l2_latency: int, temp_c: float = 110.0):
+    dr_net, gv_net, dr_loss, gv_loss = [], [], [], []
+    gated_wins = 0
+    for bench in SUBSET:
+        dr = figure_point(
+            bench, drowsy_technique(), l2_latency=l2_latency, temp_c=temp_c,
+            n_ops=N_OPS,
+        )
+        gv = figure_point(
+            bench, gated_vss_technique(), l2_latency=l2_latency, temp_c=temp_c,
+            n_ops=N_OPS,
+        )
+        dr_net.append(dr.net_savings_pct)
+        gv_net.append(gv.net_savings_pct)
+        dr_loss.append(dr.perf_loss_pct)
+        gv_loss.append(gv.perf_loss_pct)
+        gated_wins += gv.net_savings_pct > dr.net_savings_pct
+    n = len(SUBSET)
+    return {
+        "dr_net": sum(dr_net) / n,
+        "gv_net": sum(gv_net) / n,
+        "dr_loss": sum(dr_loss) / n,
+        "gv_loss": sum(gv_loss) / n,
+        "gated_wins": gated_wins,
+    }
+
+
+@pytest.fixture(scope="module")
+def fast_l2():
+    return averages(5)
+
+
+@pytest.fixture(scope="module")
+def default_l2():
+    return averages(11)
+
+
+@pytest.fixture(scope="module")
+def slow_l2():
+    return averages(17)
+
+
+class TestL2LatencyCrossover:
+    """Section 5.1: the debunking result."""
+
+    def test_gated_superior_at_fast_l2(self, fast_l2):
+        """5-cycle L2: gated-Vss is almost uniformly superior."""
+        assert fast_l2["gv_net"] > fast_l2["dr_net"] + 3.0
+        assert fast_l2["gated_wins"] >= len(SUBSET) - 1
+
+    def test_gated_also_faster_at_fast_l2(self, fast_l2):
+        """At 5 cycles gated wins on performance loss too (Figure 4)."""
+        assert fast_l2["gv_loss"] < fast_l2["dr_loss"]
+
+    def test_mixed_verdict_at_11_cycles(self, default_l2):
+        """11-cycle L2: gated slightly better savings, slightly worse
+        loss — "the picture is less clear"."""
+        assert abs(default_l2["gv_net"] - default_l2["dr_net"]) < 12.0
+        assert default_l2["gv_loss"] > default_l2["dr_loss"] - 0.3
+
+    def test_drowsy_clearly_superior_at_slow_l2(self, slow_l2):
+        """17-cycle L2: the state-preserving advantage finally dominates."""
+        assert slow_l2["dr_net"] > slow_l2["gv_net"] + 3.0
+        assert slow_l2["gated_wins"] <= len(SUBSET) // 2
+
+    def test_gated_loss_grows_with_l2_latency(self, fast_l2, default_l2, slow_l2):
+        """Induced misses cost more as the L2 slows (Figures 4/9/11)."""
+        assert fast_l2["gv_loss"] < default_l2["gv_loss"] < slow_l2["gv_loss"]
+
+    def test_drowsy_loss_insensitive_to_l2_latency(self, fast_l2, slow_l2):
+        """Drowsy's penalties are wakeups, not L2 trips: flat in latency."""
+        assert abs(fast_l2["dr_loss"] - slow_l2["dr_loss"]) < 0.8
+
+    def test_savings_in_papers_band(self, fast_l2):
+        """Net savings land in the tens of percent, not single digits."""
+        assert 20.0 < fast_l2["dr_net"] < 90.0
+        assert 30.0 < fast_l2["gv_net"] < 95.0
+
+    def test_perf_losses_small(self, fast_l2, slow_l2):
+        """Both techniques stay within a few percent slowdown."""
+        for key in ("dr_loss", "gv_loss"):
+            assert -1.5 < fast_l2[key] < 8.0
+            assert -1.5 < slow_l2[key] < 8.0
+
+
+class TestTemperature:
+    """Section 5.2: leakage is exponential in temperature."""
+
+    def test_savings_larger_at_110_than_85(self):
+        for tech in (drowsy_technique(), gated_vss_technique()):
+            hot = figure_point("gcc", tech, l2_latency=11, temp_c=110.0, n_ops=N_OPS)
+            cool = figure_point("gcc", tech, l2_latency=11, temp_c=85.0, n_ops=N_OPS)
+            assert hot.net_savings_pct > cool.net_savings_pct
+
+    def test_baseline_leakage_energy_roughly_doubles(self):
+        hot = figure_point(
+            "gzip", drowsy_technique(), l2_latency=11, temp_c=110.0, n_ops=N_OPS
+        )
+        cool = figure_point(
+            "gzip", drowsy_technique(), l2_latency=11, temp_c=85.0, n_ops=N_OPS
+        )
+        ratio = hot.leak_baseline_j / cool.leak_baseline_j
+        assert 1.5 < ratio < 3.5
+
+
+class TestAdaptivity:
+    """Section 5.4: adaptivity primarily benefits gated-Vss."""
+
+    INTERVALS = (1024, 4096, 16384)
+
+    def test_best_interval_helps_gated_more_than_drowsy(self):
+        """Oracle interval selection must buy gated-Vss more than drowsy
+        (relative to each technique's own fixed-default result)."""
+        gains = {}
+        for name, tech in (
+            ("drowsy", drowsy_technique()),
+            ("gated", gated_vss_technique()),
+        ):
+            fixed = figure_point(
+                "mcf", tech, l2_latency=11, temp_c=85.0, n_ops=N_OPS
+            ).net_savings_pct
+            best = best_interval(
+                "mcf",
+                tech,
+                intervals=self.INTERVALS,
+                l2_latency=11,
+                temp_c=85.0,
+                n_ops=N_OPS,
+            ).result.net_savings_pct
+            gains[name] = best - fixed
+        assert gains["gated"] >= gains["drowsy"] - 1.0
+
+    def test_gated_best_intervals_spread_wider(self):
+        """Table 3: gated's optima vary widely; drowsy's cluster low."""
+        dr_best = []
+        gv_best = []
+        for bench in ("gcc", "gzip", "mcf"):
+            dr_best.append(
+                best_interval(
+                    bench,
+                    drowsy_technique(),
+                    intervals=self.INTERVALS,
+                    l2_latency=11,
+                    temp_c=85.0,
+                    n_ops=N_OPS,
+                ).interval
+            )
+            gv_best.append(
+                best_interval(
+                    bench,
+                    gated_vss_technique(),
+                    intervals=self.INTERVALS,
+                    l2_latency=11,
+                    temp_c=85.0,
+                    n_ops=N_OPS,
+                ).interval
+            )
+        # Drowsy favours short intervals (cheap wakeups).
+        assert max(dr_best) <= min(gv_best) * 4
+        assert all(g >= d for g, d in zip(gv_best, dr_best))

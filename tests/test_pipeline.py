@@ -1,0 +1,262 @@
+"""Tests for the out-of-order pipeline timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.cpu.config import MachineConfig
+from repro.cpu.isa import MicroOp, OpClass
+from repro.cpu.pipeline import Pipeline
+from repro.power.wattch import EnergyAccountant, default_power_config
+
+
+def build_pipeline(machine: MachineConfig | None = None, *, warm_code=True):
+    machine = machine or MachineConfig()
+    acct = EnergyAccountant(config=default_power_config())
+    hier = MemoryHierarchy(machine, acct)
+    if warm_code:
+        # Pre-fill the small code footprint the test traces use, so tests
+        # measure data-side timing rather than cold I-cache misses.
+        for line in range(64):
+            hier.l1i.access(0x1000 + line * 64)
+    return Pipeline(machine, hier, acct), hier, acct, machine
+
+
+def alu(pc: int, dest: int, src1: int = -1, src2: int = -1) -> MicroOp:
+    return MicroOp(pc=pc, op=OpClass.IALU, dest=dest, src1=src1, src2=src2)
+
+
+def independent_alus(n: int) -> list[MicroOp]:
+    # Same I-cache line (pc constant modulo line) to avoid fetch effects.
+    return [alu(0x1000 + (i % 16) * 4, dest=i % 24) for i in range(n)]
+
+
+class TestThroughput:
+    def test_independent_alu_ipc_near_width(self):
+        """4-wide machine, 4 IntALUs, no deps: IPC should approach ~3-4."""
+        pipe, _, _, _ = build_pipeline()
+        stats = pipe.run(independent_alus(2000))
+        assert stats.committed == 2000
+        assert stats.ipc > 2.5
+
+    def test_serial_chain_ipc_one(self):
+        """A strict dependence chain caps IPC at 1 (1-cycle ALUs)."""
+        ops = [alu(0x1000 + (i % 16) * 4, dest=5, src1=5) for i in range(500)]
+        pipe, _, _, _ = build_pipeline()
+        stats = pipe.run(ops)
+        assert 0.8 < stats.ipc <= 1.05
+
+    def test_commit_in_order_and_complete(self):
+        pipe, _, _, _ = build_pipeline()
+        stats = pipe.run(independent_alus(123))
+        assert stats.committed == 123
+        assert stats.fetched == 123
+
+    def test_empty_trace(self):
+        pipe, _, _, _ = build_pipeline()
+        stats = pipe.run([])
+        assert stats.committed == 0
+        assert stats.cycles <= 2
+
+
+class TestFunctionalUnits:
+    def test_single_multiplier_serialises(self):
+        """Independent IMULs share 1 unit: throughput 1/cycle at best,
+        and the single non-pipelined divider is far slower."""
+        muls = [
+            MicroOp(pc=0x1000 + (i % 16) * 4, op=OpClass.IMUL, dest=i % 8)
+            for i in range(300)
+        ]
+        pipe, _, _, _ = build_pipeline()
+        ipc_mul = pipe.run(muls).ipc
+        assert ipc_mul <= 1.1
+
+        divs = [
+            MicroOp(pc=0x1000 + (i % 16) * 4, op=OpClass.IDIV, dest=i % 8)
+            for i in range(50)
+        ]
+        pipe2, _, _, _ = build_pipeline()
+        stats = pipe2.run(divs)
+        machine = MachineConfig()
+        # Non-pipelined: ~lat_int_div cycles each.
+        assert stats.cycles >= 50 * machine.lat_int_div * 0.9
+
+    def test_two_mem_ports_cap_load_issue(self):
+        loads = [
+            MicroOp(
+                pc=0x1000 + (i % 16) * 4,
+                op=OpClass.LOAD,
+                dest=i % 8,
+                addr=0x100000 + (i % 8) * 8,  # one resident line
+            )
+            for i in range(400)
+        ]
+        pipe, hier, _, _ = build_pipeline()
+        hier.l2.access(0x100000)
+        stats = pipe.run(loads)
+        assert stats.ipc <= 2.1  # 2 mem ports
+
+
+class TestMemoryTiming:
+    def test_load_latency_gates_dependent_alu(self):
+        """consumer of a cold-miss load completes after ~mem latency."""
+        machine = MachineConfig()
+        ops = [
+            MicroOp(pc=0x1000, op=OpClass.LOAD, dest=1, addr=0x900000),
+            alu(0x1004, dest=2, src1=1),
+        ]
+        pipe, _, _, _ = build_pipeline(machine)
+        stats = pipe.run(ops)
+        min_cycles = machine.l1d_latency + machine.l2_latency + machine.mem_latency
+        assert stats.cycles >= min_cycles
+
+    def test_independent_misses_overlap(self):
+        """MLP: two cold misses to different lines overlap, so the total is
+        far below 2x the serial latency."""
+        machine = MachineConfig()
+        ops = [
+            MicroOp(pc=0x1000, op=OpClass.LOAD, dest=1, addr=0x900000),
+            MicroOp(pc=0x1004, op=OpClass.LOAD, dest=2, addr=0x940000),
+            alu(0x1008, dest=3, src1=1, src2=2),
+        ]
+        pipe, _, _, _ = build_pipeline(machine)
+        stats = pipe.run(ops)
+        serial = 2 * (machine.l1d_latency + machine.l2_latency + machine.mem_latency)
+        assert stats.cycles < serial * 0.75
+
+    def test_dependent_loads_serialise(self):
+        machine = MachineConfig()
+        ops = [
+            MicroOp(pc=0x1000, op=OpClass.LOAD, dest=1, addr=0x900000),
+            MicroOp(pc=0x1004, op=OpClass.LOAD, dest=2, src1=1, addr=0x940000),
+        ]
+        pipe, _, _, _ = build_pipeline(machine)
+        stats = pipe.run(ops)
+        one_miss = machine.l1d_latency + machine.l2_latency + machine.mem_latency
+        assert stats.cycles >= 2 * one_miss * 0.9
+
+    def test_store_writes_cache_at_commit(self):
+        ops = [
+            MicroOp(pc=0x1000, op=OpClass.STORE, addr=0x800000, src1=-1, src2=-1),
+        ]
+        pipe, hier, _, _ = build_pipeline()
+        stats = pipe.run(ops)
+        assert stats.stores == 1
+        # The line was write-allocated.
+        _, _, way = (
+            hier.plain_l1d.probe(0x800000)
+        )
+        assert way is not None
+        assert hier.plain_l1d.lines[hier.plain_l1d.probe(0x800000)[0]][way].dirty
+
+
+class TestBranchTiming:
+    def test_mispredict_stalls_fetch(self):
+        """A stream with unpredictable branches runs slower than the same
+        stream with perfectly biased branches."""
+
+        def stream(bias_taken: bool):
+            import random
+
+            rng = random.Random(3)
+            ops = []
+            for i in range(600):
+                pc = 0x1000 + (i % 64) * 4
+                if i % 5 == 4:
+                    taken = bias_taken if bias_taken else (rng.random() < 0.5)
+                    ops.append(
+                        MicroOp(
+                            pc=pc,
+                            op=OpClass.BRANCH,
+                            src1=1,
+                            taken=taken,
+                            target=pc + 8,
+                        )
+                    )
+                else:
+                    ops.append(alu(pc, dest=i % 16))
+            return ops
+
+        pipe_good, _, _, _ = build_pipeline()
+        good = pipe_good.run(stream(True))
+        pipe_bad, _, _, _ = build_pipeline()
+        bad = pipe_bad.run(stream(False))
+        assert bad.cycles > good.cycles
+        assert bad.direction_mispredicts > good.direction_mispredicts
+
+    def test_branch_stats_counted(self):
+        ops = [
+            MicroOp(pc=0x1000, op=OpClass.BRANCH, taken=True, target=0x1010),
+            alu(0x1010, dest=1),
+        ]
+        pipe, _, _, _ = build_pipeline()
+        stats = pipe.run(ops)
+        assert stats.branches == 1
+
+
+class TestStructuralLimits:
+    def test_ruu_fills_under_long_latency(self):
+        """A cold miss at the head with a long tail of independent work:
+        the RUU bound limits how much run-ahead happens, but everything
+        still commits."""
+        ops = [MicroOp(pc=0x1000, op=OpClass.LOAD, dest=1, addr=0x900000)]
+        ops += independent_alus(300)
+        pipe, _, _, _ = build_pipeline()
+        stats = pipe.run(ops)
+        assert stats.committed == 301
+
+    def test_runaway_guard_trips_on_wedge(self):
+        """The wedge guard must raise rather than loop forever."""
+        pipe, _, _, _ = build_pipeline()
+        # max_cycles smaller than required: run exits by budget instead.
+        stats = pipe.run(independent_alus(100), max_cycles=5)
+        assert stats.cycles <= 6
+
+    def test_energy_cycle_accounting_matches_cycles(self):
+        pipe, _, acct, _ = build_pipeline()
+        stats = pipe.run(independent_alus(200))
+        assert acct.cycles == stats.cycles
+        assert acct.issued_total == stats.issued
+
+
+class TestMSHRLimit:
+    def test_mshr_cap_serialises_misses(self):
+        """With one MSHR, independent cold misses cannot overlap."""
+        machine_capped = MachineConfig(mshr_entries=1)
+        ops = [
+            MicroOp(pc=0x1000, op=OpClass.LOAD, dest=1, addr=0x900000),
+            MicroOp(pc=0x1004, op=OpClass.LOAD, dest=2, addr=0x940000),
+            alu(0x1008, dest=3, src1=1, src2=2),
+        ]
+        pipe_capped, _, _, _ = build_pipeline(machine_capped)
+        capped = pipe_capped.run(list(ops))
+        pipe_free, _, _, _ = build_pipeline(MachineConfig())
+        free = pipe_free.run(list(ops))
+        one_miss = (
+            machine_capped.l1d_latency
+            + machine_capped.l2_latency
+            + machine_capped.mem_latency
+        )
+        assert capped.cycles >= 2 * one_miss * 0.9  # serialised
+        assert free.cycles < capped.cycles  # unlimited overlaps
+
+    def test_mshr_does_not_block_hits(self):
+        """Hits need no MSHR: a stream of hits under a full MSHR set."""
+        machine = MachineConfig(mshr_entries=1)
+        pipe, hier, _, _ = build_pipeline(machine)
+        hier.plain_l1d.access(0x800000)  # resident line
+        ops = [MicroOp(pc=0x1000, op=OpClass.LOAD, dest=1, addr=0x900000)]
+        ops += [
+            MicroOp(pc=0x1000 + 4 + (i % 8) * 4, op=OpClass.LOAD,
+                    dest=2 + (i % 4), addr=0x800000 + (i % 8) * 8)
+            for i in range(40)
+        ]
+        stats = pipe.run(ops)
+        assert stats.committed == 41
+        # The hits stream past the one outstanding miss: far less than
+        # 41 serialised accesses.
+        assert stats.cycles < 250
+
+    def test_default_unlimited(self):
+        assert MachineConfig().mshr_entries is None

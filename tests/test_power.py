@@ -1,0 +1,194 @@
+"""Tests for the CACTI-style array energies and Wattch-style accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.leakage.structures import (
+    CacheGeometry,
+    L1D_GEOMETRY,
+    L1I_GEOMETRY,
+    L2_GEOMETRY,
+)
+from repro.power.cacti import (
+    cache_access_energies,
+    counter_increment_energy,
+    mode_transition_energy,
+)
+from repro.power.wattch import EnergyAccountant, default_power_config
+
+
+class TestCactiEnergies:
+    @pytest.fixture(scope="class")
+    def l1(self, node70):
+        return cache_access_energies(L1D_GEOMETRY, node70, 0.9)
+
+    @pytest.fixture(scope="class")
+    def l2(self, node70):
+        return cache_access_energies(L2_GEOMETRY, node70, 0.9, access_bytes=64)
+
+    def test_all_energies_positive(self, l1, l2):
+        for arr in (l1, l2):
+            assert arr.read > 0 and arr.write > 0
+            assert arr.tag_check > 0 and arr.line_fill > 0
+
+    def test_l2_costs_much_more_than_l1(self, l1, l2):
+        """Routing across a 2 MB array dominates: ~an order of magnitude."""
+        assert 5.0 < l2.read / l1.read < 100.0
+
+    def test_l1_read_magnitude(self, l1):
+        """70 nm 64 KB read: tens of pJ (CACTI regime)."""
+        assert 5e-12 < l1.read < 2e-10
+
+    def test_l2_read_magnitude(self, l2):
+        assert 1e-10 < l2.read < 2e-9
+
+    def test_line_fill_exceeds_read(self, l1):
+        assert l1.line_fill > l1.read
+
+    def test_tag_check_cheapest(self, l1):
+        assert l1.tag_check < l1.read
+
+    def test_energy_scales_with_vdd_squared(self, node70):
+        lo = cache_access_energies(L1D_GEOMETRY, node70, 0.6)
+        hi = cache_access_energies(L1D_GEOMETRY, node70, 0.9)
+        # Not exactly quadratic (mixed swing terms) but strongly increasing.
+        assert hi.read > 1.8 * lo.read
+
+    def test_banking_caps_small_vs_large_gap(self, node70):
+        """Subarray banking: a 4x larger cache must not cost 4x per access."""
+        small = cache_access_energies(
+            CacheGeometry(size_bytes=16 * 1024, assoc=2, line_bytes=64), node70, 0.9
+        )
+        large = cache_access_energies(
+            CacheGeometry(size_bytes=256 * 1024, assoc=2, line_bytes=64), node70, 0.9
+        )
+        assert large.read < 6.0 * small.read
+
+    def test_counter_energy_tiny(self, node70):
+        """Decay-counter overhead must be negligible (paper cost #1)."""
+        e = counter_increment_energy(node70, 0.9)
+        assert 0 < e < 1e-13
+
+    def test_mode_transition_small(self, node70):
+        e = mode_transition_energy(L1D_GEOMETRY, node70, 0.9)
+        l1 = cache_access_energies(L1D_GEOMETRY, node70, 0.9)
+        assert 0 < e < l1.read
+
+    def test_scaled_helper(self, l1):
+        doubled = l1.scaled(2.0)
+        assert doubled.read == pytest.approx(2.0 * l1.read)
+        assert doubled.line_fill == pytest.approx(2.0 * l1.line_fill)
+
+
+class TestEnergyAccountant:
+    @pytest.fixture()
+    def acct(self):
+        return EnergyAccountant(config=default_power_config())
+
+    def test_unknown_event_rejected(self, acct):
+        with pytest.raises(KeyError):
+            acct.add("warp_drive")
+
+    def test_event_accumulation(self, acct):
+        acct.add("alu", 10)
+        acct.add("alu", 5)
+        assert acct.counts["alu"] == 15
+        assert acct.structure_energy() == pytest.approx(
+            15 * acct.config.e_alu
+        )
+
+    def test_clock_floor_without_issue(self, acct):
+        for _ in range(100):
+            acct.add_cycle(issued=0)
+        expected = 100 * acct.config.clock_floor * acct.config.e_clock_active
+        assert acct.clock_energy() == pytest.approx(expected)
+
+    def test_clock_full_activity(self, acct):
+        for _ in range(100):
+            acct.add_cycle(issued=acct.config.issue_width)
+        assert acct.clock_energy() == pytest.approx(
+            100 * acct.config.e_clock_active
+        )
+
+    def test_total_is_structure_plus_clock(self, acct):
+        acct.add("l1d_read", 3)
+        acct.add_cycle(issued=2)
+        assert acct.total_energy() == pytest.approx(
+            acct.structure_energy() + acct.clock_energy()
+        )
+
+    def test_breakdown_sums_to_total(self, acct):
+        acct.add("l1d_read", 7)
+        acct.add("l2_access", 2)
+        acct.add("bpred", 5)
+        for _ in range(10):
+            acct.add_cycle(issued=1)
+        assert sum(acct.breakdown().values()) == pytest.approx(
+            acct.total_energy()
+        )
+
+    def test_average_power(self, acct):
+        acct.add("alu", 100)
+        for _ in range(1000):
+            acct.add_cycle(issued=4)
+        watts = acct.average_power()
+        assert watts == pytest.approx(
+            acct.total_energy() * acct.config.frequency_hz / 1000
+        )
+
+    def test_average_power_zero_cycles(self, acct):
+        assert acct.average_power() == 0.0
+
+    def test_cache_sub_energies_resolved(self, acct):
+        assert acct.event_energy("l1d_read") == acct.config.l1d.read
+        assert acct.event_energy("l2_writeback") == acct.config.l2.write
+        assert acct.event_energy("mem_access") == acct.config.e_memory_access
+
+
+class TestDefaultPowerConfig:
+    def test_paper_frequency(self):
+        cfg = default_power_config()
+        assert cfg.frequency_hz == pytest.approx(5.6e9)
+
+    def test_derived_fields_populated(self):
+        cfg = default_power_config()
+        assert cfg.e_counter_tick > 0
+        assert cfg.e_mode_transition > 0
+        assert cfg.e_tag_wake > 0
+
+    def test_accepts_node_by_name_or_object(self, node70):
+        a = default_power_config("70nm")
+        b = default_power_config(node70)
+        assert a.l1d.read == pytest.approx(b.l1d.read)
+
+
+class TestPowerReport:
+    def test_report_groups_sum_to_total(self):
+        acct = EnergyAccountant(config=default_power_config())
+        acct.add("l1d_read", 100)
+        acct.add("l2_access", 10)
+        acct.add("alu", 500)
+        acct.add("bpred", 50)
+        acct.add("mode_transition", 5)
+        for _ in range(1000):
+            acct.add_cycle(issued=2)
+        report = acct.power_report()
+        parts = sum(v for k, v in report.items() if k != "total")
+        assert parts == pytest.approx(report["total"], rel=1e-9)
+
+    def test_report_empty_before_cycles(self):
+        acct = EnergyAccountant(config=default_power_config())
+        assert acct.power_report() == {}
+
+    def test_report_buckets_cover_every_event(self):
+        """Every accountable event must belong to exactly one bucket."""
+        from repro.power.wattch import _EVENT_TABLE
+
+        acct = EnergyAccountant(config=default_power_config())
+        for event in _EVENT_TABLE:
+            acct.add(event)
+        acct.add_cycle(issued=1)
+        report = acct.power_report()
+        parts = sum(v for k, v in report.items() if k != "total")
+        assert parts == pytest.approx(report["total"], rel=1e-9)

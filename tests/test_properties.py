@@ -1,0 +1,322 @@
+"""Property-based tests (hypothesis) on core data structures and models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import Cache
+from repro.cache.blocks import LineMode
+from repro.leakage.bsim3 import unit_leakage
+from repro.leakage.structures import CacheGeometry
+from repro.leakctl.base import drowsy_technique, gated_vss_technique
+from repro.leakctl.controlled import ControlledCache
+from repro.power.wattch import EnergyAccountant, default_power_config
+from repro.tech.nodes import get_node
+
+NODE = get_node("70nm")
+GEOM = CacheGeometry(size_bytes=4 * 64 * 2, assoc=2, line_bytes=64)  # 4 sets
+
+
+# ---------------------------------------------------------------------------
+# Leakage model properties
+# ---------------------------------------------------------------------------
+
+
+@given(
+    t1=st.floats(min_value=260.0, max_value=420.0),
+    t2=st.floats(min_value=260.0, max_value=420.0),
+)
+def test_leakage_monotone_in_temperature(t1, t2):
+    lo, hi = sorted((t1, t2))
+    if hi - lo < 1e-6:
+        return
+    assert unit_leakage(NODE, vdd=0.9, temp_k=lo) <= unit_leakage(
+        NODE, vdd=0.9, temp_k=hi
+    )
+
+
+@given(
+    v1=st.floats(min_value=0.3, max_value=1.2),
+    v2=st.floats(min_value=0.3, max_value=1.2),
+)
+def test_leakage_monotone_in_vdd(v1, v2):
+    lo, hi = sorted((v1, v2))
+    if hi - lo < 1e-9:
+        return
+    assert unit_leakage(NODE, vdd=lo) <= unit_leakage(NODE, vdd=hi)
+
+
+@given(
+    w=st.floats(min_value=0.5, max_value=16.0),
+    scale=st.floats(min_value=1.0, max_value=4.0),
+)
+def test_leakage_linear_in_width(w, scale):
+    base = unit_leakage(NODE, vdd=0.9, w_over_l=w)
+    scaled = unit_leakage(NODE, vdd=0.9, w_over_l=w * scale)
+    assert scaled == pytest.approx(base * scale, rel=1e-9)
+
+
+@given(
+    shift=st.floats(min_value=0.0, max_value=0.15),
+    temp=st.floats(min_value=280.0, max_value=400.0),
+)
+def test_higher_vth_never_leaks_more(shift, temp):
+    assert unit_leakage(NODE, vdd=0.9, temp_k=temp, vth_shift=shift) <= (
+        unit_leakage(NODE, vdd=0.9, temp_k=temp)
+    )
+
+
+@given(st.floats(min_value=250.0, max_value=450.0))
+def test_leakage_always_positive_finite(temp):
+    i = unit_leakage(NODE, vdd=0.9, temp_k=temp)
+    assert i > 0.0 and math.isfinite(i)
+
+
+# ---------------------------------------------------------------------------
+# Cache LRU vs a reference model
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),  # set
+            st.integers(min_value=0, max_value=6),  # tag
+            st.booleans(),  # write
+        ),
+        min_size=1,
+        max_size=120,
+    )
+)
+def test_cache_agrees_with_reference_lru_model(accesses):
+    """The cache must exactly mirror a brute-force LRU dictionary model."""
+    cache = Cache("ref", GEOM)
+    reference: dict[int, list[int]] = {s: [] for s in range(GEOM.n_sets)}
+
+    for set_idx, tag, is_write in accesses:
+        addr = cache.line_addr_of(set_idx, tag)
+        expect_hit = tag in reference[set_idx]
+        hit, _victim = cache.access(addr, is_write=is_write)
+        assert hit == expect_hit
+        if expect_hit:
+            reference[set_idx].remove(tag)
+        reference[set_idx].insert(0, tag)
+        del reference[set_idx][GEOM.assoc:]
+
+    # Final contents agree too.
+    for set_idx in range(GEOM.n_sets):
+        resident = {
+            line.tag
+            for line in cache.lines[set_idx]
+            if line.valid
+        }
+        assert resident == set(reference[set_idx])
+
+
+# ---------------------------------------------------------------------------
+# Controlled-cache invariants under random access/decay interleavings
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=5),
+            st.booleans(),
+            st.integers(min_value=1, max_value=700),  # gap to next access
+        ),
+        min_size=1,
+        max_size=80,
+    ),
+    st.sampled_from([drowsy_technique(), gated_vss_technique()]),
+)
+def test_controlled_cache_invariants(accesses, technique):
+    cache = ControlledCache(
+        Cache("l1d", GEOM),
+        technique,
+        decay_interval=512,
+        accountant=EnergyAccountant(config=default_power_config()),
+    )
+    cycle = 0
+    for set_idx, tag, is_write, gap in accesses:
+        cycle += gap
+        a = cache.cache.line_addr_of(set_idx, tag)
+        out = cache.access(a, is_write=is_write, cycle=cycle)
+        if not out.hit:
+            cache.fill(a, is_write=is_write, cycle=cycle)
+        # Invariants after every step:
+        assert cache.standby_population_check()
+        assert 0 <= cache.n_standby <= GEOM.n_lines
+        # Gated standby lines are always invalid; drowsy may keep them.
+        if not technique.state_preserving:
+            for ways in cache.cache.lines:
+                for line in ways:
+                    if line.mode is LineMode.STANDBY:
+                        assert not line.valid
+    cache.finalize(cycle + 1)
+    assert cache.stats.standby_line_cycles <= GEOM.n_lines * (cycle + 1)
+    # Conservation: every access is classified exactly once.
+    s = cache.stats
+    assert s.accesses == s.hits + s.slow_hits + s.true_misses + s.induced_misses
+
+
+# ---------------------------------------------------------------------------
+# Energy accountant arithmetic
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["alu", "l1d_read", "l2_access", "bpred", "lsq"]),
+            st.integers(min_value=1, max_value=20),
+        ),
+        max_size=30,
+    ),
+    st.integers(min_value=0, max_value=200),
+)
+def test_accountant_linear_in_events(events, cycles):
+    acct = EnergyAccountant(config=default_power_config())
+    manual = 0.0
+    for name, n in events:
+        acct.add(name, n)
+        manual += n * acct.event_energy(name)
+    for _ in range(cycles):
+        acct.add_cycle(issued=2)
+    assert acct.structure_energy() == pytest.approx(manual)
+    assert acct.total_energy() == pytest.approx(
+        manual + acct.clock_energy()
+    )
+    assert acct.total_energy() >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# Geometry properties
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sets_log2=st.integers(min_value=0, max_value=10),
+    assoc=st.sampled_from([1, 2, 4, 8]),
+    line_log2=st.integers(min_value=4, max_value=8),
+    addr=st.integers(min_value=0, max_value=2**43),
+)
+def test_geometry_slicing_roundtrip(sets_log2, assoc, line_log2, addr):
+    geom = CacheGeometry(
+        size_bytes=(1 << sets_log2) * assoc * (1 << line_log2),
+        assoc=assoc,
+        line_bytes=1 << line_log2,
+    )
+    cache = Cache("g", geom)
+    set_idx, tag = cache.slice_addr(addr)
+    assert 0 <= set_idx < geom.n_sets
+    rebuilt = cache.line_addr_of(set_idx, tag)
+    # Same line: equal after dropping the offset bits.
+    assert rebuilt >> geom.offset_bits == addr >> geom.offset_bits
+
+
+# ---------------------------------------------------------------------------
+# Solver KCL on randomized series stacks
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    depth=st.integers(min_value=2, max_value=5),
+    gates=st.lists(st.booleans(), min_size=5, max_size=5),
+    widths=st.lists(
+        st.floats(min_value=0.5, max_value=6.0), min_size=5, max_size=5
+    ),
+)
+def test_random_nmos_stack_kcl_and_bounds(depth, gates, widths):
+    """Any series NMOS stack must converge, satisfy KCL at the rails, and
+    leak no more than its leakiest single OFF device would alone."""
+    from repro.circuits.netlist import Netlist, Transistor, GND_NODE, VDD_NODE
+    from repro.circuits.solver import LeakageSolver
+
+    net = Netlist(name="stack", inputs=tuple(f"g{i}" for i in range(depth)), output="")
+    chain = [VDD_NODE] + [f"n{i}" for i in range(depth - 1)] + [GND_NODE]
+    for i in range(depth):
+        net.add(
+            Transistor(
+                f"m{i}", "n", gate=f"g{i}", drain=chain[i], source=chain[i + 1],
+                w_over_l=widths[i],
+            )
+        )
+    inputs = {f"g{i}": int(gates[i]) for i in range(depth)}
+    if all(inputs.values()):
+        return  # fully-on stack shorts the rails; not a leakage case
+    solver = LeakageSolver(NODE, vdd=0.9, temp_k=300.0)
+    r = solver.solve(net, inputs)
+    leak = max(r.supply_current, r.ground_current)
+    assert leak >= 0.0
+    # KCL at the rails.
+    assert r.supply_current == pytest.approx(r.ground_current, rel=1e-3, abs=1e-16)
+    # Converged.
+    assert r.residual_norm <= 1e-4 * leak + 1e-16
+    # Upper bound: the weakest OFF device at full bias.
+    off_limits = [
+        unit_leakage(NODE, vdd=0.9, w_over_l=widths[i])
+        for i in range(depth)
+        if not gates[i]
+    ]
+    assert leak <= min(off_limits) * 1.6 + 1e-15
+    # All internal nodes within the rails.
+    for node_name in net.unknown_nodes():
+        assert -1e-9 <= r.voltages[node_name] <= 0.9 + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Trace-file round trip on arbitrary micro-ops
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**47),  # pc
+            st.sampled_from(
+                ["IALU", "IMUL", "IDIV", "FPALU", "FPMUL", "FPDIV",
+                 "LOAD", "STORE", "BRANCH"]
+            ),
+            st.integers(min_value=-1, max_value=63),  # dest
+            st.integers(min_value=-1, max_value=63),  # src1
+            st.integers(min_value=-1, max_value=63),  # src2
+            st.integers(min_value=0, max_value=2**47),  # addr
+            st.booleans(),  # taken
+            st.integers(min_value=-(2**20), max_value=2**20),  # target offset
+        ),
+        max_size=50,
+    )
+)
+def test_tracefile_roundtrip_arbitrary_ops(tmp_path_factory, ops_spec):
+    from repro.cpu.isa import MicroOp, OpClass
+    from repro.workloads.tracefile import read_trace, write_trace
+
+    ops = []
+    for pc, kind, dest, src1, src2, addr, taken, toff in ops_spec:
+        is_branch = kind == "BRANCH"
+        ops.append(
+            MicroOp(
+                pc=pc,
+                op=OpClass[kind],
+                dest=dest,
+                src1=src1,
+                src2=src2,
+                addr=addr,
+                taken=taken if is_branch else False,
+                target=max(pc + toff, 0) if is_branch else 0,
+            )
+        )
+    path = tmp_path_factory.mktemp("traces") / "prop.trace"
+    write_trace(path, ops)
+    assert list(read_trace(path)) == ops

@@ -1,0 +1,246 @@
+"""Tests for the extension control targets: L1 I-cache and L2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.cpu.config import MachineConfig
+from repro.experiments.runner import figure_point, run_once, _leakage_model_cached
+from repro.leakctl.base import L2_CELL_VTH_SHIFT, drowsy_technique, gated_vss_technique
+from repro.leakctl.controlled import ControlledCache
+from repro.leakctl.energy import (
+    L2_HIGH_VT_LEAKAGE_FACTOR,
+    uncontrolled_leakage_power,
+)
+from repro.power.wattch import EnergyAccountant, default_power_config
+
+FAST = dict(n_ops=3000, seed=1)
+INTERVAL = 1024
+
+
+def build_hier(target, technique):
+    machine = MachineConfig()
+    acct = EnergyAccountant(config=default_power_config())
+    geometry = {
+        "l1i": machine.l1i_geometry,
+        "l2": machine.l2_geometry,
+    }[target]
+    ctl = ControlledCache(
+        Cache(target, geometry),
+        technique,
+        decay_interval=INTERVAL,
+        accountant=acct,
+        decay_writeback_event="mem_access" if target == "l2" else "l2_writeback",
+    )
+    hier = MemoryHierarchy(machine, acct, **{target: ctl})
+    return hier, ctl, acct, machine
+
+
+class TestControlledL1I:
+    def test_drowsy_slow_fetch(self):
+        hier, ctl, _, machine = build_hier("l1i", drowsy_technique())
+        pc = 0x400000
+        hier.inst_fetch(pc, 0)  # install
+        ctl.advance(3 * INTERVAL)
+        latency = hier.inst_fetch(pc, 3 * INTERVAL)
+        assert latency == machine.l1i_latency + drowsy_technique().slow_hit_cycles
+        assert ctl.stats.slow_hits == 1
+
+    def test_gated_induced_ifetch_costs_l2_trip(self):
+        hier, ctl, _, machine = build_hier("l1i", gated_vss_technique())
+        pc = 0x400000
+        hier.inst_fetch(pc, 0)
+        ctl.advance(3 * INTERVAL)
+        latency = hier.inst_fetch(pc, 3 * INTERVAL)
+        assert latency == machine.l1i_latency + machine.l2_latency
+        assert ctl.stats.induced_misses == 1
+
+    def test_icache_never_dirty(self):
+        hier, ctl, _, _ = build_hier("l1i", gated_vss_technique())
+        for i in range(20):
+            hier.inst_fetch(0x400000 + i * 64, i)
+        ctl.advance(5 * INTERVAL)
+        assert ctl.stats.decay_writebacks == 0
+
+
+class TestControlledL2:
+    def test_drowsy_l2_slow_hit_on_l1_miss_path(self):
+        hier, ctl, _, machine = build_hier("l2", drowsy_technique())
+        addr = 0x50000
+        hier.data_access(addr, is_write=False, cycle=0)  # installs L1 + L2
+        ctl.advance(3 * INTERVAL)
+        # Evict from L1 by conflicting fills so the next access reaches L2.
+        g = machine.l1d_geometry
+        set_idx, _tag = hier.plain_l1d.slice_addr(addr)
+        for tag in (100, 101):
+            conflict = hier.plain_l1d.line_addr_of(set_idx, tag)
+            hier.data_access(conflict, is_write=False, cycle=10)
+        r = hier.data_access(addr, is_write=False, cycle=3 * INTERVAL + 100)
+        assert not r.l1_hit
+        # L1 miss + drowsy-L2 slow hit: l1d + l2 + wake.
+        assert r.latency == (
+            machine.l1d_latency
+            + machine.l2_latency
+            + drowsy_technique().slow_hit_cycles
+        )
+
+    def test_gated_l2_induced_miss_goes_to_memory(self):
+        hier, ctl, _, machine = build_hier("l2", gated_vss_technique())
+        addr = 0x60000
+        hier.data_access(addr, is_write=False, cycle=0)
+        ctl.advance(3 * INTERVAL)
+        set_idx, _tag = hier.plain_l1d.slice_addr(addr)
+        for tag in (100, 101):
+            conflict = hier.plain_l1d.line_addr_of(set_idx, tag)
+            hier.data_access(conflict, is_write=False, cycle=10)
+        r = hier.data_access(addr, is_write=False, cycle=3 * INTERVAL + 200)
+        assert not r.l1_hit
+        assert r.latency >= (
+            machine.l1d_latency + machine.l2_latency + machine.mem_latency
+        )
+        assert ctl.stats.induced_misses >= 1
+
+    def test_gated_l2_decay_writeback_charges_memory(self):
+        hier, ctl, acct, machine = build_hier("l2", gated_vss_technique())
+        # Make an L2 line dirty via an L1 writeback.
+        g = machine.l1d_geometry
+        addrs = [(tag << (g.index_bits + g.offset_bits)) for tag in (1, 2, 3)]
+        for i, a in enumerate(addrs):
+            hier.data_access(a, is_write=True, cycle=i)
+        before = acct.counts["mem_access"]
+        ctl.advance(5 * INTERVAL)
+        assert ctl.stats.decay_writebacks >= 1
+        assert acct.counts["mem_access"] > before
+
+
+class TestTargetRunner:
+    def test_unknown_target_rejected(self, machine):
+        with pytest.raises(ValueError, match="target"):
+            run_once("gcc", technique=None, machine=machine, target="l3", **FAST)
+
+    def test_l1i_figure_point(self):
+        r = figure_point("gzip", drowsy_technique(), target="l1i", **FAST)
+        assert r.leak_baseline_j > 0
+        assert r.accesses > 0
+
+    def test_l2_leakage_model_is_high_vt(self):
+        l1d_model = _leakage_model_cached(110.0, 0.9, "l1d")
+        l2_model = _leakage_model_cached(110.0, 0.9, "l2")
+        assert l2_model.node.vth_n == pytest.approx(
+            l1d_model.node.vth_n + L2_CELL_VTH_SHIFT
+        )
+        # Per-cell, the high-Vt L2 leaks roughly the documented factor.
+        per_cell_l1 = l1d_model.cell_power
+        per_cell_l2 = l2_model.cell_power
+        assert per_cell_l2 / per_cell_l1 == pytest.approx(
+            L2_HIGH_VT_LEAKAGE_FACTOR, rel=0.5
+        )
+
+    def test_uncontrolled_power_excludes_target(self):
+        l1d_model = _leakage_model_cached(110.0, 0.9, "l1d")
+        p_l1d = uncontrolled_leakage_power(l1d_model, controlled="l1d")
+        p_l1i = uncontrolled_leakage_power(l1d_model, controlled="l1i")
+        # Controlling the L1I leaves the (identical) L1D uncontrolled:
+        # same total by symmetry.
+        assert p_l1i == pytest.approx(p_l1d, rel=1e-6)
+        l2_model = _leakage_model_cached(110.0, 0.9, "l2")
+        p_l2 = uncontrolled_leakage_power(l2_model, controlled="l2")
+        # Without the big L2 term the uncontrolled pool is much smaller.
+        assert p_l2 < p_l1d
+
+    def test_uncontrolled_power_unknown_target(self):
+        model = _leakage_model_cached(110.0, 0.9, "l1d")
+        with pytest.raises(ValueError):
+            uncontrolled_leakage_power(model, controlled="btb")
+
+
+class TestWakeAhead:
+    """The drowsy paper's next-line wakeup for instruction caches."""
+
+    def test_wake_ahead_cuts_slow_fetches(self):
+        """Sequential code under a drowsy I-cache: pre-waking the next
+        line removes nearly all slow fetches."""
+        machine = MachineConfig()
+
+        def run(wake_ahead: bool):
+            acct = EnergyAccountant(config=default_power_config())
+            ctl = ControlledCache(
+                Cache("l1i", machine.l1i_geometry),
+                drowsy_technique(),
+                decay_interval=INTERVAL,
+                accountant=acct,
+            )
+            hier = MemoryHierarchy(
+                machine, acct, l1i=ctl, ifetch_wake_ahead=wake_ahead
+            )
+            # Install 32 sequential lines, decay everything, then walk
+            # them in order (fall-through fetch).
+            base = 0x400000
+            for i in range(32):
+                hier.inst_fetch(base + i * 64, 0)
+            ctl.advance(3 * INTERVAL)
+            total_extra = 0
+            for i in range(32):
+                cycle = 3 * INTERVAL + i * 16
+                total_extra += (
+                    hier.inst_fetch(base + i * 64, cycle)
+                    - machine.l1i_latency
+                )
+            return ctl.stats.slow_hits, total_extra
+
+        slow_plain, extra_plain = run(False)
+        slow_ahead, extra_ahead = run(True)
+        assert slow_ahead < slow_plain / 4
+        assert extra_ahead < extra_plain
+
+    def test_wake_ahead_noop_for_gated(self):
+        """Pre-waking cannot restore gated-off contents: no effect."""
+        machine = MachineConfig()
+        acct = EnergyAccountant(config=default_power_config())
+        ctl = ControlledCache(
+            Cache("l1i", machine.l1i_geometry),
+            gated_vss_technique(),
+            decay_interval=INTERVAL,
+            accountant=acct,
+            decay_writeback_event="l2_writeback",
+        )
+        hier = MemoryHierarchy(machine, acct, l1i=ctl, ifetch_wake_ahead=True)
+        base = 0x400000
+        for i in range(4):
+            hier.inst_fetch(base + i * 64, 0)
+        ctl.advance(3 * INTERVAL)
+        hier.inst_fetch(base, 3 * INTERVAL)
+        # The next line is still in (invalid) standby: no spurious wakes.
+        assert ctl.stats.induced_misses >= 1
+
+
+class TestEnergyDelayMetrics:
+    def test_ed2_definition(self):
+        from repro.leakctl.energy import NetSavingsResult
+
+        r = NetSavingsResult(
+            benchmark="x", technique="drowsy", decay_interval=4096,
+            l2_latency=11, temp_c=110.0,
+            baseline_cycles=10_000, technique_cycles=10_500,
+            leak_baseline_j=1e-6, leak_technique_j=0.5e-6,
+            dyn_baseline_j=5e-6, dyn_technique_j=5e-6,
+            clock_baseline_j=2e-6, clock_technique_j=2e-6,
+            turnoff_ratio=0.5, induced_misses=0, slow_hits=0,
+            true_misses=0, accesses=0,
+            uncontrolled_power_w=0.0, frequency_hz=5.6e9,
+        )
+        assert r.energy_ratio == pytest.approx((5 + 0.5) / (5 + 1.0))
+        assert r.ed2_ratio == pytest.approx(r.energy_ratio * 1.05**2)
+
+    def test_drowsy_l2_wins_ed2_over_gated(self):
+        """The L2 extension, judged by ED^2: gated's raw joule lead cannot
+        pay for a 3-6 % slowdown penalised twice.  (Needs the full-length
+        run: the losses only develop once decay reaches steady state.)"""
+        dr = figure_point("gzip", drowsy_technique(), target="l2")
+        gv = figure_point("gzip", gated_vss_technique(), target="l2")
+        assert dr.ed2_ratio < gv.ed2_ratio
+        # Both still beat the no-control baseline on total energy.
+        assert dr.energy_ratio < 1.0
+        assert gv.energy_ratio < 1.0

@@ -1,0 +1,236 @@
+"""Tests for repro.tech: constants, node presets, parameter variation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.tech.constants import (
+    ROOM_TEMP_K,
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+    thermal_voltage,
+)
+from repro.tech.nodes import (
+    PAPER_NODE,
+    PAPER_VDD,
+    TechnologyNode,
+    available_nodes,
+    get_node,
+)
+from repro.tech.variation import (
+    PAPER_70NM_VARIATION,
+    ParameterSampler,
+    VariationSpec,
+    mean_leakage_with_variation,
+)
+
+
+class TestConstants:
+    def test_thermal_voltage_room_temp(self):
+        # kT/q at 300 K is the textbook ~25.85 mV.
+        assert thermal_voltage(300.0) == pytest.approx(0.02585, rel=1e-3)
+
+    def test_thermal_voltage_scales_linearly(self):
+        assert thermal_voltage(600.0) == pytest.approx(
+            2.0 * thermal_voltage(300.0)
+        )
+
+    def test_thermal_voltage_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            thermal_voltage(0.0)
+        with pytest.raises(ValueError):
+            thermal_voltage(-10.0)
+
+    def test_celsius_kelvin_roundtrip(self):
+        assert kelvin_to_celsius(celsius_to_kelvin(85.0)) == pytest.approx(85.0)
+
+    def test_celsius_to_kelvin_paper_points(self):
+        assert celsius_to_kelvin(110.0) == pytest.approx(383.15)
+        assert celsius_to_kelvin(85.0) == pytest.approx(358.15)
+
+    def test_celsius_below_absolute_zero_rejected(self):
+        with pytest.raises(ValueError):
+            celsius_to_kelvin(-300.0)
+
+
+class TestNodes:
+    def test_paper_default_supply_voltages(self):
+        # Paper Section 3.1.1 lists Vdd0 per technology explicitly.
+        assert get_node("180nm").vdd0 == 2.0
+        assert get_node("130nm").vdd0 == 1.5
+        assert get_node("100nm").vdd0 == 1.2
+        assert get_node("70nm").vdd0 == 1.0
+
+    def test_paper_70nm_thresholds(self):
+        # Paper Section 2.3: 0.190 V N-type, 0.213 V P-type.
+        node = get_node("70nm")
+        assert node.vth_n == pytest.approx(0.190)
+        assert node.vth_p == pytest.approx(0.213)
+
+    def test_paper_70nm_gate_leak_anchor(self):
+        # Paper Section 3.2: 40 nA/um at 1.2 nm tox.
+        node = get_node("70nm")
+        assert node.gate_leak_na_per_um == 40.0
+        assert node.tox_nm == pytest.approx(1.2)
+
+    def test_paper_operating_point(self):
+        assert PAPER_NODE.name == "70nm"
+        assert PAPER_VDD == pytest.approx(0.9)
+
+    def test_unknown_node_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="70nm"):
+            get_node("45nm")
+
+    def test_available_nodes_ordered_large_to_small(self):
+        names = available_nodes()
+        features = [get_node(n).feature_nm for n in names]
+        assert features == sorted(features, reverse=True)
+        assert set(names) == {"180nm", "130nm", "100nm", "70nm"}
+
+    def test_cox_from_tox(self, node70):
+        # Cox = eps_ox / tox; 1.2 nm oxide -> ~0.029 F/m^2.
+        assert node70.cox == pytest.approx(3.45e-11 / 1.2e-9, rel=1e-2)
+
+    def test_thinner_oxide_higher_cox(self, node70, node180):
+        assert node70.cox > node180.cox
+
+    def test_with_overrides_returns_modified_copy(self, node70):
+        high_vt = node70.with_overrides(vth_n=0.30)
+        assert high_vt.vth_n == 0.30
+        assert node70.vth_n == pytest.approx(0.190)  # original untouched
+        assert high_vt.vth_p == node70.vth_p
+
+    def test_nodes_are_frozen(self, node70):
+        with pytest.raises(AttributeError):
+            node70.vdd0 = 1.1
+
+
+class TestVariation:
+    def test_paper_three_sigma_values(self):
+        # Paper Section 2.3 quotes the Nassif 70 nm values.
+        spec = PAPER_70NM_VARIATION
+        assert spec.length_3sigma == pytest.approx(0.47)
+        assert spec.tox_3sigma == pytest.approx(0.16)
+        assert spec.vdd_3sigma == pytest.approx(0.10)
+        assert spec.vth_3sigma == pytest.approx(0.13)
+
+    def test_sigmas_are_one_third_of_three_sigma(self):
+        spec = VariationSpec()
+        sigmas = spec.sigmas()
+        assert sigmas["length"] == pytest.approx(spec.length_3sigma / 3.0)
+        assert sigmas["vth"] == pytest.approx(spec.vth_3sigma / 3.0)
+
+    def test_sampler_deterministic(self):
+        a = ParameterSampler(VariationSpec(seed=7)).draw()
+        b = ParameterSampler(VariationSpec(seed=7)).draw()
+        np.testing.assert_array_equal(a, b)
+
+    def test_sampler_seed_changes_samples(self):
+        a = ParameterSampler(VariationSpec(seed=7)).draw()
+        b = ParameterSampler(VariationSpec(seed=8)).draw()
+        assert not np.array_equal(a, b)
+
+    def test_sampler_shape_and_positivity(self):
+        spec = VariationSpec(samples=333)
+        draws = ParameterSampler(spec).draw()
+        assert draws.shape == (333, 4)
+        assert (draws > 0).all()
+
+    def test_sample_means_near_one(self):
+        draws = ParameterSampler(VariationSpec(samples=4000)).draw()
+        means = draws.mean(axis=0)
+        np.testing.assert_allclose(means, 1.0, atol=0.02)
+
+    def test_mean_leakage_exceeds_nominal_for_convex_function(self):
+        """Exponential leakage: variation averaging must raise the mean.
+
+        This is the entire point of modelling variation (paper 3.3): the
+        mean of a convex function exceeds the function of the mean.
+        """
+
+        def fake_leakage(length_m, tox_m, vdd_m, vth_m):
+            return math.exp(-5.0 * (vth_m - 1.0)) * 1e-8
+
+        mean = mean_leakage_with_variation(fake_leakage)
+        assert mean > 1e-8
+
+    def test_mean_leakage_constant_function_unchanged(self):
+        mean = mean_leakage_with_variation(lambda a, b, c, d: 3.0)
+        assert mean == pytest.approx(3.0)
+
+
+class TestIntraDieVariation:
+    """The paper's declared future work: within-die mismatch (Sec. 3.3)."""
+
+    def test_mean_uplift_from_convexity(self):
+        from repro.tech.variation import intra_die_line_spread
+
+        spread = intra_die_line_spread(
+            vth_nominal=0.19, subthreshold_slope_v=0.05, cells_per_line=512
+        )
+        # exp(-dVth/slope) is convex in dVth: the mean line leaks MORE
+        # than the mismatch-free line.
+        assert spread.mean > 1.0
+        assert spread.p99 >= spread.p95 >= spread.p50
+        assert spread.worst >= spread.p99
+
+    def test_line_averaging_shrinks_spread(self):
+        from repro.tech.variation import intra_die_line_spread
+
+        narrow = intra_die_line_spread(
+            vth_nominal=0.19, subthreshold_slope_v=0.05, cells_per_line=2048
+        )
+        wide = intra_die_line_spread(
+            vth_nominal=0.19, subthreshold_slope_v=0.05, cells_per_line=16
+        )
+        assert narrow.sigma < wide.sigma
+
+    def test_zero_mismatch_degenerates_to_one(self):
+        from repro.tech.variation import IntraDieSpec, intra_die_line_spread
+
+        spread = intra_die_line_spread(
+            vth_nominal=0.19,
+            subthreshold_slope_v=0.05,
+            cells_per_line=64,
+            spec=IntraDieSpec(vth_sigma_frac=0.0, length_sigma_frac=0.0),
+        )
+        assert spread.mean == pytest.approx(1.0)
+        assert spread.sigma == pytest.approx(0.0, abs=1e-12)
+
+    def test_deterministic_given_seed(self):
+        from repro.tech.variation import IntraDieSpec, intra_die_line_spread
+
+        a = intra_die_line_spread(
+            vth_nominal=0.19, subthreshold_slope_v=0.05, cells_per_line=128,
+            spec=IntraDieSpec(seed=5),
+        )
+        b = intra_die_line_spread(
+            vth_nominal=0.19, subthreshold_slope_v=0.05, cells_per_line=128,
+            spec=IntraDieSpec(seed=5),
+        )
+        assert a == b
+
+    def test_invalid_specs_rejected(self):
+        from repro.tech.variation import IntraDieSpec, intra_die_line_spread
+
+        with pytest.raises(ValueError):
+            IntraDieSpec(vth_sigma_frac=-0.1)
+        with pytest.raises(ValueError):
+            IntraDieSpec(mc_lines=3)
+        with pytest.raises(ValueError):
+            intra_die_line_spread(
+                vth_nominal=0.19, subthreshold_slope_v=0.05, cells_per_line=0
+            )
+
+    def test_cache_model_integration(self, node70, hot_temp_k):
+        from repro.leakage.structures import CacheLeakageModel, L1D_GEOMETRY
+
+        model = CacheLeakageModel(
+            geometry=L1D_GEOMETRY, node=node70, vdd=0.9, temp_k=hot_temp_k
+        )
+        spread = model.intra_die_spread()
+        assert 1.0 < spread.mean < 1.2
+        assert spread.worst < 1.5

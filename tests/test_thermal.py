@@ -1,0 +1,124 @@
+"""Tests for the thermal RC node and the leakage-thermal fixed point."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.leakage.model import HotLeakage
+from repro.leakage.structures import L1D_GEOMETRY
+from repro.thermal.rc import (
+    ThermalRC,
+    ThermalRunawayError,
+    leakage_thermal_equilibrium,
+)
+
+
+class TestThermalRC:
+    def test_starts_at_ambient(self):
+        rc = ThermalRC(r_th=1.0, c_th=10.0, t_ambient=320.0)
+        assert rc.temp_k == 320.0
+
+    def test_constant_power_converges_to_target(self):
+        rc = ThermalRC(r_th=2.0, c_th=1.0, t_ambient=300.0)
+        for _ in range(100):
+            rc.step(10.0, dt_s=rc.time_constant_s)
+        assert rc.temp_k == pytest.approx(300.0 + 2.0 * 10.0, rel=1e-6)
+
+    def test_exact_exponential_step(self):
+        rc = ThermalRC(r_th=1.0, c_th=1.0, t_ambient=300.0)
+        rc.step(50.0, dt_s=1.0)  # one time constant
+        expected = 350.0 + (300.0 - 350.0) * math.exp(-1.0)
+        assert rc.temp_k == pytest.approx(expected, rel=1e-9)
+
+    def test_cooling_when_power_removed(self):
+        rc = ThermalRC(r_th=1.0, c_th=1.0, t_ambient=300.0, temp_k=380.0)
+        rc.step(0.0, dt_s=100.0)
+        assert rc.temp_k == pytest.approx(300.0, abs=1e-3)
+
+    def test_step_stable_for_huge_dt(self):
+        rc = ThermalRC(r_th=0.5, c_th=0.01, t_ambient=300.0)
+        rc.step(40.0, dt_s=1e6)
+        assert rc.temp_k == pytest.approx(320.0)
+
+    def test_zero_dt_no_change(self):
+        rc = ThermalRC(r_th=1.0, c_th=1.0, t_ambient=300.0, temp_k=333.0)
+        rc.step(99.0, dt_s=0.0)
+        assert rc.temp_k == 333.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ThermalRC(r_th=0.0, c_th=1.0)
+        with pytest.raises(ValueError):
+            ThermalRC(r_th=1.0, c_th=-2.0)
+        rc = ThermalRC(r_th=1.0, c_th=1.0)
+        with pytest.raises(ValueError):
+            rc.step(1.0, dt_s=-1.0)
+
+
+class TestLeakageThermalEquilibrium:
+    @staticmethod
+    def cache_leakage(temp_k: float) -> float:
+        hot = HotLeakage("70nm", vdd=0.9, temp_k=temp_k)
+        return hot.cache_model(L1D_GEOMETRY).total_power_all_active()
+
+    def test_equilibrium_above_ambient(self):
+        rc = ThermalRC(r_th=1.0, c_th=50.0, t_ambient=318.15)
+        t_eq = leakage_thermal_equilibrium(
+            rc, dynamic_power_w=20.0, leakage_power_fn=self.cache_leakage
+        )
+        assert t_eq > rc.t_ambient + 15.0
+        # At equilibrium the flux balances.
+        power = 20.0 + self.cache_leakage(t_eq)
+        assert t_eq == pytest.approx(rc.t_ambient + rc.r_th * power, rel=1e-6)
+
+    def test_better_heatsink_runs_cooler(self):
+        hot_rc = ThermalRC(r_th=1.5, c_th=50.0)
+        cool_rc = ThermalRC(r_th=0.5, c_th=50.0)
+        t_hot = leakage_thermal_equilibrium(
+            hot_rc, dynamic_power_w=20.0, leakage_power_fn=self.cache_leakage
+        )
+        t_cool = leakage_thermal_equilibrium(
+            cool_rc, dynamic_power_w=20.0, leakage_power_fn=self.cache_leakage
+        )
+        assert t_cool < t_hot
+
+    def test_zero_power_sits_at_ambient(self):
+        rc = ThermalRC(r_th=1.0, c_th=1.0, t_ambient=300.0)
+        t_eq = leakage_thermal_equilibrium(
+            rc, dynamic_power_w=0.0, leakage_power_fn=lambda t: 0.0
+        )
+        assert t_eq == pytest.approx(300.0)
+
+    def test_thermal_runaway_detected(self):
+        """Exponential leakage + a terrible heat path = no fixed point."""
+        rc = ThermalRC(r_th=3.0, c_th=50.0)
+
+        def monster_leakage(temp_k: float) -> float:
+            return 40.0 * self.cache_leakage(temp_k)  # a chip full of cache
+
+        with pytest.raises(ThermalRunawayError):
+            leakage_thermal_equilibrium(
+                rc, dynamic_power_w=40.0, leakage_power_fn=monster_leakage
+            )
+
+    def test_leakage_control_lowers_equilibrium(self):
+        """Closing the loop: a technique that cuts cache leakage also runs
+        the die cooler, which cuts leakage again — compounding savings."""
+        rc = ThermalRC(r_th=0.7, c_th=50.0, t_ambient=340.0)
+
+        def controlled(temp_k: float) -> float:
+            # 60 % of the cache's leakage reclaimed by decay.
+            return 0.4 * self.cache_leakage(temp_k) * 20.0
+
+        def uncontrolled(temp_k: float) -> float:
+            return self.cache_leakage(temp_k) * 20.0
+
+        t_ctl = leakage_thermal_equilibrium(
+            rc, dynamic_power_w=25.0, leakage_power_fn=controlled
+        )
+        t_unctl = leakage_thermal_equilibrium(
+            rc, dynamic_power_w=25.0, leakage_power_fn=uncontrolled
+        )
+        assert t_ctl < t_unctl - 2.0

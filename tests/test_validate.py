@@ -1,0 +1,156 @@
+"""Tests for the paper-claim validator (on synthetic artefact fixtures)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.validate import (
+    ValidationError,
+    render_validation,
+    validate_campaign,
+)
+
+BENCHES = ["gcc", "gzip", "mcf"]
+
+
+def fig_json(dr_net, gv_net, dr_loss, gv_loss, wins, n=3):
+    rows = []
+    for i in range(n):
+        # Per-row numbers only matter through the win count here; give the
+        # winning side higher values for `wins` rows.
+        gated_net = gv_net + (5.0 if i < wins else -5.0)
+        rows.append(
+            {
+                "benchmark": BENCHES[i % len(BENCHES)],
+                "drowsy": {"net_savings_pct": dr_net},
+                "gated_vss": {"net_savings_pct": gated_net},
+            }
+        )
+    return {
+        "schema_version": 1,
+        "kind": "comparison",
+        "rows": rows,
+        "averages": {
+            "drowsy_net_savings_pct": dr_net,
+            "gated_net_savings_pct": gv_net,
+            "drowsy_perf_loss_pct": dr_loss,
+            "gated_perf_loss_pct": gv_loss,
+            "gated_win_count": wins,
+        },
+    }
+
+
+def interval_json(best):
+    return {
+        "schema_version": 1,
+        "kind": "best_interval",
+        "rows": [],
+        "table_3": best,
+        "averages": {
+            "drowsy_net_savings_pct": 45.0,
+            "gated_net_savings_pct": 40.0,
+            "drowsy_perf_loss_pct": 3.0,
+            "gated_perf_loss_pct": 1.5,
+        },
+    }
+
+
+@pytest.fixture()
+def good_campaign(tmp_path):
+    """A synthetic results directory satisfying every paper claim."""
+    artefacts = {
+        "fig03_04_l2_5": fig_json(38.0, 51.0, 2.0, 1.0, wins=3),
+        "fig05_06_l2_8": fig_json(39.0, 47.0, 2.0, 1.5, wins=2),
+        "fig07_l2_11_85c": fig_json(34.0, 34.5, 2.0, 2.4, wins=2),
+        "fig08_09_l2_11_110c": fig_json(39.0, 43.0, 2.0, 2.2, wins=2),
+        "fig10_11_l2_17": fig_json(40.0, 33.0, 2.0, 3.9, wins=1),
+        "fig12_13_best_interval": interval_json(
+            {
+                "gcc": {"drowsy": 1024, "gated_vss": 4096},
+                "gzip": {"drowsy": 1024, "gated_vss": 8192},
+                "mcf": {"drowsy": 1024, "gated_vss": 1024},
+            }
+        ),
+    }
+    for name, payload in artefacts.items():
+        (tmp_path / f"{name}.json").write_text(json.dumps(payload))
+    return tmp_path
+
+
+class TestValidateCampaign:
+    def test_good_campaign_passes_everything(self, good_campaign):
+        claims = validate_campaign(good_campaign)
+        assert len(claims) == 8
+        failed = [c for c in claims if not c.passed]
+        assert failed == []
+
+    def test_missing_artefact_raises(self, tmp_path):
+        with pytest.raises(ValidationError, match="missing artefact"):
+            validate_campaign(tmp_path)
+
+    def test_corrupt_artefact_raises(self, good_campaign):
+        (good_campaign / "fig03_04_l2_5.json").write_text("{nope")
+        with pytest.raises(ValidationError, match="unparseable"):
+            validate_campaign(good_campaign)
+
+    def test_wrong_crossover_fails_claims(self, good_campaign):
+        # Make gated win at the slow L2 too: fig10_11 claim must fail.
+        bad = fig_json(33.0, 45.0, 2.5, 1.0, wins=3)
+        (good_campaign / "fig10_11_l2_17.json").write_text(json.dumps(bad))
+        claims = {c.name: c for c in validate_campaign(good_campaign)}
+        assert not claims["fig10_11.drowsy_clearly_superior"].passed
+        # The others stay green.
+        assert claims["fig3_4.gated_superior"].passed
+
+    def test_broken_interval_order_fails(self, good_campaign):
+        bad = interval_json(
+            {
+                "gcc": {"drowsy": 8192, "gated_vss": 1024},
+                "gzip": {"drowsy": 1024, "gated_vss": 2048},
+            }
+        )
+        (good_campaign / "fig12_13_best_interval.json").write_text(
+            json.dumps(bad)
+        )
+        claims = {c.name: c for c in validate_campaign(good_campaign)}
+        assert not claims["tab3.interval_structure"].passed
+
+    def test_render_validation_scorecard(self, good_campaign):
+        text = render_validation(validate_campaign(good_campaign))
+        assert "8/8 claims reproduced" in text
+        assert "[PASS]" in text
+
+    def test_render_shows_failures(self, good_campaign):
+        bad = fig_json(50.0, 30.0, 1.0, 3.0, wins=0)
+        (good_campaign / "fig03_04_l2_5.json").write_text(json.dumps(bad))
+        text = render_validation(validate_campaign(good_campaign))
+        assert "[FAIL]" in text
+
+
+class TestBarChart:
+    def test_bar_chart_renders_both_metrics(self):
+        from repro.experiments.figures import comparison_figure
+        from repro.experiments.reporting import render_bar_chart
+
+        fig = comparison_figure(
+            l2_latency=5, temp_c=110.0, title="bars",
+            benchmarks=("gcc",), n_ops=2000,
+        )
+        savings = render_bar_chart(fig)
+        loss = render_bar_chart(fig, metric="loss", width=20)
+        assert "net energy savings" in savings
+        assert "performance loss" in loss
+        assert "gcc" in savings
+
+    def test_bar_chart_unknown_metric(self):
+        from repro.experiments.figures import comparison_figure
+        from repro.experiments.reporting import render_bar_chart
+
+        fig = comparison_figure(
+            l2_latency=5, temp_c=110.0, title="bars",
+            benchmarks=("gcc",), n_ops=1000,
+        )
+        with pytest.raises(ValueError, match="metric"):
+            render_bar_chart(fig, metric="joy")
