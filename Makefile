@@ -1,6 +1,7 @@
 # Convenience targets for the reproduction repository.
 
 PYTHON ?= python
+JOBS ?= $(shell nproc 2>/dev/null || echo 1)
 
 .PHONY: install test bench reproduce validate quick-reproduce clean
 
@@ -13,13 +14,15 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# Regenerate every paper artefact into results/ and grade it.
+# Regenerate every paper artefact into results/ and grade it.  Runs on
+# $(JOBS) worker processes with a persistent result store under
+# results/.cache, so a re-run only pays for what changed.
 reproduce:
-	$(PYTHON) -m repro.cli reproduce --out results
+	$(PYTHON) -m repro.cli reproduce --out results -j $(JOBS)
 	$(PYTHON) -m repro.cli validate results
 
 quick-reproduce:
-	$(PYTHON) -m repro.cli reproduce --out results-quick --quick
+	$(PYTHON) -m repro.cli reproduce --out results-quick --quick -j $(JOBS)
 
 validate:
 	$(PYTHON) -m repro.cli validate results

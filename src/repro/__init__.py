@@ -36,6 +36,7 @@ Quickstart::
 
 from repro.cache import Cache, MemoryHierarchy
 from repro.cpu import MachineConfig, PAPER_L2_LATENCIES, PAPER_MACHINE, Pipeline
+from repro.exec import ExecutionMetrics, ResultStore, RunSpec, Scheduler
 from repro.experiments import (
     clear_caches,
     comparison_figure,
@@ -125,6 +126,11 @@ __all__ = [
     "ThermalRC",
     "ThermalRunawayError",
     "leakage_thermal_equilibrium",
+    # parallel execution
+    "RunSpec",
+    "ResultStore",
+    "Scheduler",
+    "ExecutionMetrics",
     # experiments
     "run_once",
     "figure_point",

@@ -35,6 +35,13 @@ class CacheStats:
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
 
+    def reset(self) -> None:
+        """Zero every counter (start a fresh measurement window)."""
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
 
 class Cache:
     """A plain set-associative, write-back, write-allocate cache.

@@ -5,12 +5,16 @@ Usage (installed as the ``repro-paper`` console script, or via
 
     repro-paper tables                 # Tables 1 and 2
     repro-paper figure 3_4             # Figures 3/4 (110C, L2=5)
-    repro-paper figure 12_13           # best-interval study + Table 3
+    repro-paper figure 12_13 -j 4      # best-interval study + Table 3, parallel
     repro-paper run gcc gated-vss --l2 5 --temp 110
     repro-paper sweep gzip drowsy      # decay-interval sweep
+    repro-paper reproduce -j 4         # the whole campaign, 4 workers
 
 Figure regeneration runs full simulations; expect seconds (``run``) to
-minutes (``figure 12_13``).
+minutes (``figure 12_13``).  ``figure``, ``sweep`` and ``reproduce``
+accept ``-j/--jobs`` (worker processes; identical results at any count)
+and ``--cache`` (a persistent result store that skips already-run
+points; ``reproduce`` keeps one under ``<out>/.cache`` automatically).
 """
 
 from __future__ import annotations
@@ -52,6 +56,38 @@ _FIGURES = {
 }
 
 
+def _make_scheduler(args):
+    """Build the scheduler requested by ``-j/--jobs`` (and ``--cache``)."""
+    from repro.exec import ResultStore, Scheduler
+
+    store = None
+    if getattr(args, "cache", None):
+        try:
+            store = ResultStore(args.cache)
+        except NotADirectoryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            raise SystemExit(2) from None
+    return Scheduler(max_workers=args.jobs, store=store)
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _add_exec_flags(parser) -> None:
+    parser.add_argument(
+        "-j", "--jobs", type=_positive_int, default=1,
+        help="simulation worker processes (1 = serial; results identical)",
+    )
+    parser.add_argument(
+        "--cache",
+        help="persistent result-store directory (skips already-run points)",
+    )
+
+
 def _cmd_tables(_args) -> int:
     print(render_settling_table(table_1()))
     print()
@@ -67,8 +103,9 @@ def _cmd_figure(args) -> int:
     )
 
     name = args.name
+    scheduler = _make_scheduler(args)
     if name == "12_13":
-        fig = figure_12_13(n_ops=args.ops)
+        fig = figure_12_13(n_ops=args.ops, scheduler=scheduler)
         print(render_best_intervals(fig))
         print()
         print(render_interval_table(table_3(fig)))
@@ -82,7 +119,7 @@ def _cmd_figure(args) -> int:
         known = ", ".join([*_FIGURES, "12_13"])
         print(f"unknown figure {name!r}; known: {known}", file=sys.stderr)
         return 2
-    fig = builder(n_ops=args.ops)
+    fig = builder(n_ops=args.ops, scheduler=scheduler)
     print(render_comparison(fig))
     if args.json:
         save_json(figure_to_dict(fig), args.json)
@@ -160,6 +197,7 @@ def _cmd_sweep(args) -> int:
         l2_latency=args.l2,
         temp_c=args.temp,
         n_ops=args.ops,
+        scheduler=_make_scheduler(args),
     )
     rows = [
         [
@@ -220,7 +258,12 @@ def _cmd_reproduce(args) -> int:
 
     benchmarks = tuple(args.benchmarks.split(",")) if args.benchmarks else None
     result = run_campaign(
-        args.out, quick=args.quick, benchmarks=benchmarks, progress=print
+        args.out,
+        quick=args.quick,
+        benchmarks=benchmarks,
+        progress=print,
+        jobs=args.jobs,
+        cache_dir=args.cache,
     )
     print()
     print(result.summary())
@@ -242,6 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("name", help="3_4, 5_6, 7, 8_9, 10_11 or 12_13")
     fig.add_argument("--ops", type=int, default=20_000, help="micro-ops per run")
     fig.add_argument("--json", help="also write the figure data as JSON")
+    _add_exec_flags(fig)
     fig.set_defaults(func=_cmd_figure)
 
     run = sub.add_parser("run", help="one benchmark under one technique")
@@ -274,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--l2", type=int, default=11)
     sweep.add_argument("--temp", type=float, default=85.0)
     sweep.add_argument("--ops", type=int, default=20_000)
+    _add_exec_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     rep = sub.add_parser(
@@ -288,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--benchmarks",
         help="comma-separated benchmark subset (default: all 11)",
     )
+    _add_exec_flags(rep)
     rep.set_defaults(func=_cmd_reproduce)
 
     val = sub.add_parser(

@@ -30,6 +30,12 @@ class PredictorStats:
     def mispredict_rate(self) -> float:
         return self.direction_mispredicts / self.lookups if self.lookups else 0.0
 
+    def reset(self) -> None:
+        """Zero every counter (start a fresh measurement window)."""
+        self.lookups = 0
+        self.direction_mispredicts = 0
+        self.btb_misses = 0
+
 
 class HybridPredictor:
     """Bimod + GAg with a bimod-style chooser (paper Table 2)."""

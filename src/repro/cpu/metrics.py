@@ -31,3 +31,15 @@ class RunStats:
     @property
     def mispredict_rate(self) -> float:
         return self.direction_mispredicts / self.branches if self.branches else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter (start a fresh measurement window)."""
+        self.cycles = 0
+        self.committed = 0
+        self.fetched = 0
+        self.issued = 0
+        self.loads = 0
+        self.stores = 0
+        self.branches = 0
+        self.direction_mispredicts = 0
+        self.btb_misses = 0

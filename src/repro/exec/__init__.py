@@ -1,0 +1,27 @@
+"""Parallel experiment execution: specs, result store, scheduler, metrics.
+
+The experiment layer (:mod:`repro.experiments`) describes *what* to
+simulate; this package decides *how*.  Every figure point becomes a
+:class:`RunSpec` — a frozen, content-hashed description of one
+simulation — that a :class:`Scheduler` executes on a process pool (or
+serially), consulting a persistent content-addressed :class:`ResultStore`
+so that repeated campaigns only pay for what changed.  An
+:class:`ExecutionMetrics` object aggregates jobs/hit-rate/throughput and
+per-phase wall time for ``campaign_metrics.json``.
+"""
+
+from repro.exec.metrics import ExecutionMetrics
+from repro.exec.scheduler import Scheduler, SchedulerError
+from repro.exec.spec import CODE_VERSION, RunSpec
+from repro.exec.store import STORE_SCHEMA_VERSION, ResultStore, StoreStats
+
+__all__ = [
+    "CODE_VERSION",
+    "RunSpec",
+    "ResultStore",
+    "StoreStats",
+    "STORE_SCHEMA_VERSION",
+    "Scheduler",
+    "SchedulerError",
+    "ExecutionMetrics",
+]

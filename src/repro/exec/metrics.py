@@ -1,0 +1,114 @@
+"""Campaign execution metrics: jobs, cache effectiveness, throughput.
+
+One :class:`ExecutionMetrics` object rides along a whole campaign; every
+scheduler batch reports into it and every artefact phase is timed through
+the :meth:`ExecutionMetrics.phase` context manager.  ``to_dict()`` /
+``write()`` produce the machine-readable ``campaign_metrics.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+METRICS_SCHEMA_VERSION = 1
+
+
+class ExecutionMetrics:
+    """Aggregated counters and wall times for one campaign."""
+
+    def __init__(self) -> None:
+        self.jobs_total = 0
+        self.jobs_executed = 0
+        self.cache_hits = 0
+        self.retries = 0
+        self.failures = 0
+        self.execution_wall_s = 0.0
+        self.phase_wall_s: dict[str, float] = {}
+        self._started = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record_batch(
+        self,
+        *,
+        jobs: int,
+        cache_hits: int,
+        executed: int,
+        wall_s: float,
+        retries: int = 0,
+        failures: int = 0,
+    ) -> None:
+        """Fold one scheduler batch into the campaign totals."""
+        self.jobs_total += jobs
+        self.cache_hits += cache_hits
+        self.jobs_executed += executed
+        self.execution_wall_s += wall_s
+        self.retries += retries
+        self.failures += failures
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time one named campaign phase (artefact) in wall seconds."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phase_wall_s[name] = self.phase_wall_s.get(name, 0.0) + elapsed
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.jobs_total if self.jobs_total else 0.0
+
+    @property
+    def throughput_runs_per_s(self) -> float:
+        """Executed (non-cached) simulations per second of execution wall."""
+        if self.execution_wall_s <= 0.0:
+            return 0.0
+        return self.jobs_executed / self.execution_wall_s
+
+    @property
+    def total_wall_s(self) -> float:
+        return time.perf_counter() - self._started
+
+    def summary(self) -> str:
+        """One human line for the progress callback."""
+        return (
+            f"{self.jobs_total} jobs ({self.cache_hits} cached, "
+            f"hit rate {100.0 * self.hit_rate:.0f} %), "
+            f"{self.throughput_runs_per_s:.2f} runs/s, "
+            f"{self.total_wall_s:.1f} s wall"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "jobs_total": self.jobs_total,
+            "jobs_executed": self.jobs_executed,
+            "cache_hits": self.cache_hits,
+            "hit_rate": self.hit_rate,
+            "retries": self.retries,
+            "failures": self.failures,
+            "execution_wall_s": self.execution_wall_s,
+            "throughput_runs_per_s": self.throughput_runs_per_s,
+            "total_wall_s": self.total_wall_s,
+            "phase_wall_s": dict(self.phase_wall_s),
+        }
+
+    def write(self, path: str | Path, *, extra: dict | None = None) -> Path:
+        """Write ``campaign_metrics.json`` (plus optional extra sections)."""
+        path = Path(path)
+        payload = self.to_dict()
+        if extra:
+            payload.update(extra)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path

@@ -1,0 +1,254 @@
+"""Batch scheduler: execute RunSpecs on a process pool, through the store.
+
+The scheduler turns a list of :class:`~repro.exec.spec.RunSpec` jobs into
+results, in order, with four behaviours layered on top of plain execution:
+
+1. **Store first** — every spec is looked up in the (optional)
+   :class:`~repro.exec.store.ResultStore`; only misses are executed, and
+   fresh results are persisted as they arrive.
+2. **Deduplication** — identical specs in one batch are executed once and
+   fanned out to every requesting slot.
+3. **Parallelism** — misses run on a ``ProcessPoolExecutor`` with a
+   configurable worker count and an optional per-job timeout.  Runs are
+   seed-deterministic, so parallel results are bit-identical to serial.
+4. **Resilience** — a pool that cannot start (sandboxed /dev/shm, missing
+   semaphores) degrades to serial execution; jobs whose worker died or
+   timed out are retried serially, a bounded number of times, before the
+   batch fails.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Sequence
+
+from repro.exec.metrics import ExecutionMetrics
+from repro.exec.spec import RunSpec
+from repro.exec.store import ResultStore
+from repro.leakctl.energy import NetSavingsResult
+
+
+class SchedulerError(RuntimeError):
+    """A job kept failing after every retry."""
+
+
+def execute_spec(spec: RunSpec) -> NetSavingsResult:
+    """Process-pool entry point: run one spec (module-level, picklable)."""
+    return spec.execute()
+
+
+class Scheduler:
+    """Executes batches of RunSpecs; serial by default, parallel on demand.
+
+    Args:
+        max_workers: Process count.  1 (default) never forks — the whole
+            batch runs in-process, which is also the fallback path.
+        store: Optional persistent result store consulted before and
+            updated after every execution.
+        timeout_s: Per-job budget; a batch whose stragglers exceed the
+            aggregate budget (``timeout_s * jobs``) abandons the pool and
+            retries the stragglers serially.
+        retries: How many serial retry rounds a failed job gets.
+        metrics: Optional campaign-wide metrics aggregator.
+        progress: Default progress callback for :meth:`run` (a per-call
+            callback overrides it).
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 1,
+        *,
+        store: ResultStore | None = None,
+        timeout_s: float | None = None,
+        retries: int = 2,
+        metrics: ExecutionMetrics | None = None,
+        progress: Callable[[str], None] | None = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.max_workers = max_workers
+        self.store = store
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.metrics = metrics
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        specs: Sequence[RunSpec],
+        progress: Callable[[str], None] | None = None,
+    ) -> list[NetSavingsResult]:
+        """Execute ``specs``; returns results in the same order.
+
+        Equivalent to calling ``spec.execute()`` in a loop (runs are
+        deterministic), but cached, deduplicated, and parallel.
+        """
+        start = time.perf_counter()
+        results: list[NetSavingsResult | None] = [None] * len(specs)
+        if progress is None:
+            progress = self.progress
+        note = progress if progress is not None else (lambda _msg: None)
+
+        # Store lookups + in-batch dedup: map each unique missing hash to
+        # every slot that wants it.
+        pending: dict[str, list[int]] = {}
+        cache_hits = 0
+        for i, spec in enumerate(specs):
+            key = spec.content_hash()
+            if key in pending:
+                pending[key].append(i)
+                continue
+            cached = self.store.get(spec) if self.store is not None else None
+            if cached is not None:
+                results[i] = cached
+                cache_hits += 1
+            else:
+                pending[key] = [i]
+
+        todo = [slots[0] for slots in pending.values()]
+        executed = 0
+        if todo:
+            self._execute_pending(specs, todo, results, note)
+            executed = len(todo)
+        for slots in pending.values():
+            for i in slots[1:]:
+                results[i] = results[slots[0]]
+                cache_hits += 1
+
+        wall = time.perf_counter() - start
+        if self.metrics is not None:
+            self.metrics.record_batch(
+                jobs=len(specs),
+                cache_hits=cache_hits,
+                executed=executed,
+                wall_s=wall,
+            )
+        if len(specs) > 1:
+            rate = executed / wall if wall > 0 else 0.0
+            note(
+                f"batch: {len(specs)} jobs, {cache_hits} cached, "
+                f"{executed} executed in {wall:.1f} s ({rate:.2f} runs/s)"
+            )
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Execution paths
+    # ------------------------------------------------------------------
+
+    def _execute_pending(
+        self,
+        specs: Sequence[RunSpec],
+        todo: list[int],
+        results: list,
+        note: Callable[[str], None],
+    ) -> None:
+        """Run every slot in ``todo``, with serial retries on failure."""
+        if self.max_workers > 1 and len(todo) > 1:
+            failed = self._run_pool(specs, todo, results, note)
+        else:
+            failed = self._run_serial(specs, todo, results, note)
+        for attempt in range(self.retries):
+            if not failed:
+                break
+            if self.metrics is not None:
+                self.metrics.retries += len(failed)
+            note(
+                f"retrying {len(failed)} failed job(s) serially "
+                f"(attempt {attempt + 1}/{self.retries})"
+            )
+            failed = self._run_serial(
+                specs, [i for i, _exc in failed], results, note
+            )
+        if failed:
+            if self.metrics is not None:
+                self.metrics.failures += len(failed)
+            slots = [i for i, _exc in failed]
+            raise SchedulerError(
+                f"{len(failed)} job(s) failed after {self.retries} "
+                f"retries: slots {slots}, first spec {specs[slots[0]]}"
+            ) from failed[0][1]
+
+    def _run_serial(
+        self,
+        specs: Sequence[RunSpec],
+        todo: list[int],
+        results: list,
+        note: Callable[[str], None],
+    ) -> list[tuple[int, BaseException]]:
+        failed: list[tuple[int, BaseException]] = []
+        step = max(1, len(todo) // 8)
+        for n, i in enumerate(todo, start=1):
+            try:
+                result = execute_spec(specs[i])
+            except Exception as exc:
+                failed.append((i, exc))
+                continue
+            self._commit(specs[i], result, results, i)
+            if len(todo) > 1 and (n % step == 0 or n == len(todo)):
+                note(f"  jobs {n}/{len(todo)} done")
+        return failed
+
+    def _run_pool(
+        self,
+        specs: Sequence[RunSpec],
+        todo: list[int],
+        results: list,
+        note: Callable[[str], None],
+    ) -> list[tuple[int, BaseException]]:
+        try:
+            executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        except (OSError, ValueError, ImportError) as exc:
+            note(f"process pool unavailable ({exc!r}); running serially")
+            return self._run_serial(specs, todo, results, note)
+        failed: list[tuple[int, BaseException]] = []
+        done = 0
+        step = max(1, len(todo) // 8)
+        budget = None if self.timeout_s is None else self.timeout_s * len(todo)
+        wait_at_shutdown = True
+        try:
+            futures = {
+                executor.submit(execute_spec, specs[i]): i for i in todo
+            }
+            try:
+                for future in as_completed(futures, timeout=budget):
+                    i = futures.pop(future)
+                    try:
+                        result = future.result()
+                    except Exception as exc:
+                        failed.append((i, exc))
+                        continue
+                    self._commit(specs[i], result, results, i)
+                    done += 1
+                    if done % step == 0 or done == len(todo):
+                        note(f"  jobs {done}/{len(todo)} done")
+            except TimeoutError as exc:
+                # Stragglers blew the batch budget: abandon the pool
+                # (don't wait on possibly-wedged workers) and let the
+                # serial retry path recompute what's outstanding.
+                note(
+                    f"pool budget of {budget:.0f} s exhausted with "
+                    f"{len(futures)} job(s) outstanding; retrying serially"
+                )
+                failed.extend((i, exc) for i in futures.values())
+                wait_at_shutdown = False
+        except BaseException:
+            wait_at_shutdown = False
+            raise
+        finally:
+            executor.shutdown(wait=wait_at_shutdown, cancel_futures=True)
+        return failed
+
+    def _commit(
+        self, spec: RunSpec, result: NetSavingsResult, results: list, slot: int
+    ) -> None:
+        results[slot] = result
+        if self.store is not None:
+            self.store.put(spec, result)

@@ -1,0 +1,151 @@
+"""Persistent content-addressed result store.
+
+One JSON file per executed :class:`~repro.exec.spec.RunSpec`, keyed by the
+spec's content hash and sharded by the first two hex digits (so a big
+campaign does not pile thousands of files into one directory):
+
+    <root>/ab/abcdef...0123.json
+
+Each entry records a schema version, the spec hash and spec fields (for
+auditability), and the flattened
+:class:`~repro.leakctl.energy.NetSavingsResult`.  Writes are atomic
+(temp file + ``os.replace``), so a crashed or killed campaign can never
+leave a half-written entry that later reads as a (wrong) hit: anything
+unreadable, schema-mismatched, or mis-keyed is treated as a miss and
+transparently re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+
+from repro.exec.spec import CODE_VERSION, RunSpec
+from repro.leakctl.energy import NetSavingsResult
+
+STORE_SCHEMA_VERSION = 1
+"""Entry layout version; a mismatch invalidates the entry (clean re-run)."""
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss accounting for one store instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    invalid: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "invalid": self.invalid,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultStore:
+    """On-disk cache of figure points, content-addressed by spec hash."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise NotADirectoryError(
+                f"result store root {self.root} exists and is not a directory"
+            )
+        self.stats = StoreStats()
+
+    def path_for(self, spec: RunSpec) -> Path:
+        key = spec.content_hash()
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, spec: RunSpec) -> NetSavingsResult | None:
+        """The cached result for ``spec``, or None (miss).
+
+        A corrupt file (partial write from a pre-atomic-writer tool, disk
+        trouble), a schema-version mismatch, a key mismatch, or a result
+        payload that no longer matches the current
+        :class:`NetSavingsResult` fields all count as misses — the caller
+        simply re-runs and overwrites.
+        """
+        key = spec.content_hash()
+        path = self.root / key[:2] / f"{key}.json"
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.stats.misses += 1
+            self.stats.invalid += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema_version") != STORE_SCHEMA_VERSION
+            or payload.get("spec_hash") != key
+        ):
+            self.stats.misses += 1
+            self.stats.invalid += 1
+            return None
+        result_fields = payload.get("result")
+        known = {f.name for f in fields(NetSavingsResult)}
+        if not isinstance(result_fields, dict) or set(result_fields) != known:
+            self.stats.misses += 1
+            self.stats.invalid += 1
+            return None
+        try:
+            result = NetSavingsResult(**result_fields)
+        except TypeError:
+            self.stats.misses += 1
+            self.stats.invalid += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, result: NetSavingsResult) -> Path:
+        """Atomically persist ``result`` under ``spec``'s content hash."""
+        key = spec.content_hash()
+        path = self.root / key[:2] / f"{key}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema_version": STORE_SCHEMA_VERSION,
+            "code_version": CODE_VERSION,
+            "spec_hash": key,
+            "spec": spec.to_dict(),
+            "result": asdict(result),
+        }
+        blob = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    def __len__(self) -> int:
+        """Number of entries on disk (walks the tree; for tests/tools)."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from repro.exec import ExecutionMetrics, ResultStore, Scheduler
 from repro.experiments.export import (
     best_interval_figure_to_dict,
     figure_to_dict,
@@ -57,6 +58,7 @@ class CampaignResult:
     out_dir: Path
     artefacts: dict[str, Path] = field(default_factory=dict)
     verdicts: dict[str, str] = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         lines = [f"reproduction campaign -> {self.out_dir}"]
@@ -73,14 +75,26 @@ def run_campaign(
     quick: bool = False,
     benchmarks: tuple[str, ...] | None = None,
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> CampaignResult:
     """Regenerate every paper artefact into ``out_dir``.
+
+    Every simulation goes through a :class:`~repro.exec.Scheduler` backed
+    by a persistent :class:`~repro.exec.ResultStore` under
+    ``<out_dir>/.cache`` (override with ``cache_dir``): a warm re-run
+    costs only the store lookups, and ``jobs > 1`` spreads cold runs over
+    a process pool.  Runs are seed-deterministic, so the artefacts are
+    identical at any job count.  Execution statistics land in
+    ``campaign_metrics.json``.
 
     Args:
         out_dir: Directory for the text/JSON artefacts (created if needed).
         quick: Use small runs (smoke level; verdicts may wobble).
         benchmarks: Optional benchmark subset (defaults to all 11).
         progress: Optional callback receiving one line per artefact.
+        jobs: Simulation worker processes (1 = in-process serial).
+        cache_dir: Result-store location (default ``<out_dir>/.cache``).
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -92,6 +106,12 @@ def run_campaign(
         if progress is not None:
             progress(msg)
 
+    store = ResultStore(Path(cache_dir) if cache_dir is not None else out / ".cache")
+    metrics = ExecutionMetrics()
+    scheduler = Scheduler(
+        max_workers=jobs, store=store, metrics=metrics, progress=note
+    )
+
     def emit(name: str, text: str, payload: dict | None = None) -> None:
         path = out / f"{name}.txt"
         path.write_text(text + "\n")
@@ -100,8 +120,9 @@ def run_campaign(
             save_json(payload, out / f"{name}.json")
         note(f"wrote {name}")
 
-    emit("tab1_settling", render_settling_table(table_1()))
-    emit("tab2_machine", render_machine_table(table_2()))
+    with metrics.phase("tables"):
+        emit("tab1_settling", render_settling_table(table_1()))
+        emit("tab2_machine", render_machine_table(table_2()))
 
     figure_builders = [
         ("fig03_04_l2_5", figure_3_4),
@@ -112,7 +133,8 @@ def run_campaign(
     ]
     for name, builder in figure_builders:
         note(f"running {name} ...")
-        fig = builder(n_ops=n_ops, **extra)
+        with metrics.phase(name):
+            fig = builder(n_ops=n_ops, scheduler=scheduler, **extra)
         emit(name, render_comparison(fig), figure_to_dict(fig))
         winner = (
             "gated-vss"
@@ -126,13 +148,22 @@ def run_campaign(
         )
 
     note("running fig12_13 interval sweep (the long one) ...")
-    best = figure_12_13(n_ops=n_ops, **extra)
+    with metrics.phase("fig12_13_best_interval"):
+        best = figure_12_13(n_ops=n_ops, scheduler=scheduler, **extra)
     emit(
         "fig12_13_best_interval",
         render_best_intervals(best),
         best_interval_figure_to_dict(best),
     )
     emit("tab3_best_intervals", render_interval_table(table_3(best)))
+
+    metrics_path = metrics.write(
+        out / "campaign_metrics.json",
+        extra={"jobs": jobs, "result_store": store.stats.to_dict()},
+    )
+    result.artefacts["campaign_metrics"] = metrics_path
+    result.metrics = metrics.to_dict()
+    note(f"execution: {metrics.summary()}")
 
     (out / "SUMMARY.txt").write_text(result.summary() + "\n")
     return result

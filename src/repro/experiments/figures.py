@@ -21,15 +21,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cpu.config import MachineConfig, PAPER_MACHINE
-from repro.experiments.runner import DEFAULT_N_OPS, DEFAULT_SEED, figure_point
-from repro.experiments.sweeps import BestInterval, best_interval
+from repro.exec import RunSpec, Scheduler
+from repro.experiments.runner import (
+    DEFAULT_N_OPS,
+    DEFAULT_SEED,
+    SWEEP_INTERVALS,
+)
 from repro.leakctl.base import (
     DROWSY_SLEEP_CYCLES,
     DROWSY_WAKE_CYCLES,
     GATED_SLEEP_CYCLES,
     GATED_WAKE_CYCLES,
-    drowsy_technique,
-    gated_vss_technique,
 )
 from repro.leakctl.energy import NetSavingsResult
 from repro.workloads.profiles import BENCHMARK_NAMES
@@ -87,27 +89,42 @@ def comparison_figure(
     benchmarks: tuple[str, ...] = BENCHMARK_NAMES,
     n_ops: int = DEFAULT_N_OPS,
     seed: int = DEFAULT_SEED,
+    scheduler: Scheduler | None = None,
 ) -> ComparisonFigure:
-    """Run the 11-benchmark drowsy/gated comparison at one design point."""
+    """Run the 11-benchmark drowsy/gated comparison at one design point.
+
+    Every (benchmark, technique) point is one :class:`RunSpec` submitted
+    through the ``scheduler`` (a fresh serial one by default); runs are
+    deterministic, so a parallel scheduler reproduces the serial figure
+    bit for bit.
+    """
+    scheduler = scheduler if scheduler is not None else Scheduler()
     fig = ComparisonFigure(title=title, l2_latency=l2_latency, temp_c=temp_c)
+    specs = [
+        RunSpec(
+            benchmark=bench,
+            technique=technique,
+            l2_latency=l2_latency,
+            temp_c=temp_c,
+            n_ops=n_ops,
+            seed=seed,
+        )
+        for bench in benchmarks
+        for technique in ("drowsy", "gated-vss")
+    ]
+    results = scheduler.run(specs)
+    by_point = {
+        (spec.benchmark, spec.technique): result
+        for spec, result in zip(specs, results)
+    }
     for bench in benchmarks:
-        drowsy = figure_point(
-            bench,
-            drowsy_technique(),
-            l2_latency=l2_latency,
-            temp_c=temp_c,
-            n_ops=n_ops,
-            seed=seed,
+        fig.rows.append(
+            BenchComparison(
+                benchmark=bench,
+                drowsy=by_point[(bench, "drowsy")],
+                gated=by_point[(bench, "gated-vss")],
+            )
         )
-        gated = figure_point(
-            bench,
-            gated_vss_technique(),
-            l2_latency=l2_latency,
-            temp_c=temp_c,
-            n_ops=n_ops,
-            seed=seed,
-        )
-        fig.rows.append(BenchComparison(benchmark=bench, drowsy=drowsy, gated=gated))
     return fig
 
 
@@ -181,39 +198,47 @@ def figure_12_13(
     benchmarks: tuple[str, ...] = BENCHMARK_NAMES,
     n_ops: int = DEFAULT_N_OPS,
     seed: int = DEFAULT_SEED,
+    scheduler: Scheduler | None = None,
 ) -> BestIntervalFigure:
     """Figures 12/13: oracle best decay interval per benchmark (85 C, L2=11).
 
     Also yields Table 3 (the best intervals themselves) via the
-    ``best_drowsy`` / ``best_gated`` maps.
+    ``best_drowsy`` / ``best_gated`` maps.  The whole
+    (benchmark x technique x interval) grid goes to the scheduler as one
+    batch, so a parallel scheduler overlaps the entire sweep; the oracle
+    pick per (benchmark, technique) is ``max`` over the grid in interval
+    order, exactly as the serial sweep resolved ties.
     """
+    scheduler = scheduler if scheduler is not None else Scheduler()
     fig = BestIntervalFigure(
         title="Figures 12/13 (85C, L2=11, best per-benchmark interval)",
         l2_latency=l2_latency,
         temp_c=temp_c,
     )
+    specs = [
+        RunSpec(
+            benchmark=bench,
+            technique=technique,
+            l2_latency=l2_latency,
+            temp_c=temp_c,
+            decay_interval=interval,
+            n_ops=n_ops,
+            seed=seed,
+        )
+        for bench in benchmarks
+        for technique in ("drowsy", "gated-vss")
+        for interval in SWEEP_INTERVALS
+    ]
+    results = scheduler.run(specs)
+    by_sweep: dict[tuple[str, str], list] = {}
+    for spec, result in zip(specs, results):
+        by_sweep.setdefault((spec.benchmark, spec.technique), []).append(result)
     for bench in benchmarks:
-        dr: BestInterval = best_interval(
-            bench,
-            drowsy_technique(),
-            l2_latency=l2_latency,
-            temp_c=temp_c,
-            n_ops=n_ops,
-            seed=seed,
-        )
-        gv: BestInterval = best_interval(
-            bench,
-            gated_vss_technique(),
-            l2_latency=l2_latency,
-            temp_c=temp_c,
-            n_ops=n_ops,
-            seed=seed,
-        )
-        fig.rows.append(
-            BenchComparison(benchmark=bench, drowsy=dr.result, gated=gv.result)
-        )
-        fig.best_drowsy[bench] = dr.interval
-        fig.best_gated[bench] = gv.interval
+        dr = max(by_sweep[(bench, "drowsy")], key=lambda r: r.net_savings_pct)
+        gv = max(by_sweep[(bench, "gated-vss")], key=lambda r: r.net_savings_pct)
+        fig.rows.append(BenchComparison(benchmark=bench, drowsy=dr, gated=gv))
+        fig.best_drowsy[bench] = dr.decay_interval
+        fig.best_gated[bench] = gv.decay_interval
     return fig
 
 

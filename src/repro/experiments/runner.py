@@ -7,7 +7,10 @@ run pair reduced to net savings and performance loss.
 Baselines are cached: the baseline timing/dynamic energy is independent of
 temperature (leakage is computed analytically afterwards), so one baseline
 run per (benchmark, L2 latency, n_ops, seed) serves every temperature and
-technique.
+technique.  The cache holds reduced :class:`BaselineSummary` entries
+(cycles + energy totals), not whole run outputs.  Cross-process and
+cross-invocation caching of entire figure points lives in
+:mod:`repro.exec` (see ``docs/EXECUTION.md``).
 """
 
 from __future__ import annotations
@@ -112,10 +115,10 @@ def _functional_warmup(
             if op.taken:
                 pipeline.btb.install(op.pc, op.target)
     # Measured stats start clean.
-    l1d.stats.__init__()
-    hierarchy.l1i.stats.__init__()
-    hierarchy.l2.stats.__init__()
-    pipeline.predictor.stats.__init__()
+    l1d.stats.reset()
+    hierarchy.l1i.stats.reset()
+    hierarchy.l2.stats.reset()
+    pipeline.predictor.stats.reset()
 
 
 def run_once(
@@ -195,6 +198,28 @@ def run_once(
     )
 
 
+@dataclass(frozen=True)
+class BaselineSummary:
+    """The three baseline quantities :func:`net_savings` consumes.
+
+    Memoising this instead of the whole :class:`RunOutput` keeps the
+    baseline cache a few hundred bytes per entry — the full output retains
+    the entire :class:`MemoryHierarchy` (every cache line of a 2 MB L2).
+    """
+
+    cycles: int
+    dyn_energy_j: float
+    clock_energy_j: float
+
+    @classmethod
+    def from_run(cls, out: RunOutput) -> "BaselineSummary":
+        return cls(
+            cycles=out.stats.cycles,
+            dyn_energy_j=out.accountant.total_energy(),
+            clock_energy_j=out.accountant.clock_energy(),
+        )
+
+
 @lru_cache(maxsize=256)
 def _baseline_cached(
     benchmark: str,
@@ -203,16 +228,18 @@ def _baseline_cached(
     seed: int,
     vdd: float = PAPER_VDD,
     engine: str = "ooo",
-) -> RunOutput:
+) -> BaselineSummary:
     machine = MachineConfig().with_l2_latency(l2_latency)
-    return run_once(
-        benchmark,
-        technique=None,
-        machine=machine,
-        n_ops=n_ops,
-        seed=seed,
-        vdd=vdd,
-        engine=engine,
+    return BaselineSummary.from_run(
+        run_once(
+            benchmark,
+            technique=None,
+            machine=machine,
+            n_ops=n_ops,
+            seed=seed,
+            vdd=vdd,
+            engine=engine,
+        )
     )
 
 
@@ -286,8 +313,9 @@ def figure_point(
         temp_c=temp_c,
         model=model,
         frequency_hz=PAPER_FREQUENCY_HZ,
-        baseline_cycles=base.stats.cycles,
-        baseline_accountant=base.accountant,
+        baseline_cycles=base.cycles,
+        baseline_dyn_j=base.dyn_energy_j,
+        baseline_clock_j=base.clock_energy_j,
         technique_cycles=tech_run.stats.cycles,
         technique_accountant=tech_run.accountant,
         standby_stats=tech_run.standby,

@@ -11,14 +11,29 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cpu.config import PAPER_L2_LATENCIES
+from repro.exec import RunSpec, Scheduler
 from repro.experiments.runner import (
     DEFAULT_N_OPS,
     DEFAULT_SEED,
     SWEEP_INTERVALS,
     figure_point,
+    technique_by_name,
 )
 from repro.leakctl.base import TechniqueConfig
 from repro.leakctl.energy import NetSavingsResult
+
+
+def _spec_compatible(technique: TechniqueConfig) -> bool:
+    """Whether ``technique`` is addressable by name in a :class:`RunSpec`.
+
+    Ablated variants (overridden settling times, tags kept awake, ...)
+    are not — caching them under the plain name would poison the result
+    store — so they always take the direct :func:`figure_point` path.
+    """
+    try:
+        return technique == technique_by_name(technique.name)
+    except KeyError:
+        return False
 
 
 def interval_sweep(
@@ -30,8 +45,28 @@ def interval_sweep(
     temp_c: float = 85.0,
     n_ops: int = DEFAULT_N_OPS,
     seed: int = DEFAULT_SEED,
+    scheduler: Scheduler | None = None,
 ) -> list[NetSavingsResult]:
-    """Net-savings results across the decay-interval grid."""
+    """Net-savings results across the decay-interval grid.
+
+    With a ``scheduler``, the grid is submitted as one batch (parallel,
+    cached); without one — or for ablated techniques a
+    :class:`RunSpec` cannot describe — each point runs in-process.
+    """
+    if scheduler is not None and _spec_compatible(technique):
+        specs = [
+            RunSpec(
+                benchmark=benchmark,
+                technique=technique.name,
+                l2_latency=l2_latency,
+                temp_c=temp_c,
+                decay_interval=interval,
+                n_ops=n_ops,
+                seed=seed,
+            )
+            for interval in intervals
+        ]
+        return scheduler.run(specs)
     return [
         figure_point(
             benchmark,
@@ -65,6 +100,7 @@ def best_interval(
     temp_c: float = 85.0,
     n_ops: int = DEFAULT_N_OPS,
     seed: int = DEFAULT_SEED,
+    scheduler: Scheduler | None = None,
 ) -> BestInterval:
     """Best decay interval by net energy savings (the paper's criterion)."""
     results = interval_sweep(
@@ -75,6 +111,7 @@ def best_interval(
         temp_c=temp_c,
         n_ops=n_ops,
         seed=seed,
+        scheduler=scheduler,
     )
     winner = max(results, key=lambda r: r.net_savings_pct)
     return BestInterval(
@@ -166,9 +203,24 @@ def l2_latency_sweep(
     decay_interval: int | None = None,
     n_ops: int = DEFAULT_N_OPS,
     seed: int = DEFAULT_SEED,
+    scheduler: Scheduler | None = None,
 ) -> list[NetSavingsResult]:
     """Net-savings results across the paper's L2-latency grid."""
     kwargs = {} if decay_interval is None else {"decay_interval": decay_interval}
+    if scheduler is not None and _spec_compatible(technique):
+        specs = [
+            RunSpec(
+                benchmark=benchmark,
+                technique=technique.name,
+                l2_latency=latency,
+                temp_c=temp_c,
+                n_ops=n_ops,
+                seed=seed,
+                **kwargs,
+            )
+            for latency in latencies
+        ]
+        return scheduler.run(specs)
     return [
         figure_point(
             benchmark,

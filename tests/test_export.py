@@ -96,6 +96,7 @@ class TestCampaign:
             "fig03_04_l2_5", "fig05_06_l2_8", "fig07_l2_11_85c",
             "fig08_09_l2_11_110c", "fig10_11_l2_17",
             "fig12_13_best_interval", "tab3_best_intervals",
+            "campaign_metrics",
         }
         assert set(result.artefacts) == expected
         for path in result.artefacts.values():
