@@ -3,7 +3,7 @@
 PYTHON ?= python
 JOBS ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: install test bench reproduce validate quick-reproduce clean
+.PHONY: install test bench bench-figures reproduce validate quick-reproduce clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -11,7 +11,12 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Hot-path benchmark harness (docs/PERFORMANCE.md): writes BENCH.json and
+# fails on a regression against benchmarks/bench_baseline.json.
 bench:
+	$(PYTHON) -m repro.cli bench --check
+
+bench-figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Regenerate every paper artefact into results/ and grade it.  Runs on

@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Core hot-path benchmark harness — thin wrapper over ``repro-paper bench``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_core.py            # full suite
+    PYTHONPATH=src python benchmarks/bench_core.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_core.py --check    # gate vs baseline
+
+Writes ``BENCH.json`` (see ``docs/PERFORMANCE.md`` for the schema and the
+timing protocol).  The committed reference numbers live in
+``benchmarks/bench_baseline.json``.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

@@ -1,0 +1,17 @@
+"""Single-run performance benchmark harness (see ``docs/PERFORMANCE.md``)."""
+
+from repro.bench.core import (
+    BENCH_SCHEMA,
+    SCENARIOS,
+    check_regression,
+    reference_comparison,
+    run_bench,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "SCENARIOS",
+    "check_regression",
+    "reference_comparison",
+    "run_bench",
+]

@@ -8,6 +8,7 @@ these primitives with a decay policy and a technique model.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.cache.blocks import CacheLine, LineMode
@@ -49,16 +50,35 @@ class Cache:
     LRU state is a per-set list of way indices ordered MRU-first.
     """
 
-    def __init__(self, name: str, geometry: CacheGeometry) -> None:
+    def __init__(
+        self, name: str, geometry: CacheGeometry, *, lazy_sets: bool = False
+    ) -> None:
         self.name = name
         self.geometry = geometry
-        self.lines: list[list[CacheLine]] = [
-            [CacheLine() for _ in range(geometry.assoc)]
-            for _ in range(geometry.n_sets)
-        ]
-        self.lru: list[list[int]] = [
-            list(range(geometry.assoc)) for _ in range(geometry.n_sets)
-        ]
+        # Address-slicing constants, hoisted out of the per-access hot path
+        # (the CacheGeometry properties recompute log2 on every call).
+        self._offset_bits = geometry.offset_bits
+        self._index_bits = geometry.index_bits
+        self._set_mask = geometry.n_sets - 1
+        assoc = geometry.assoc
+        if lazy_sets:
+            # Sets materialise on first touch.  A big L2 constructs tens of
+            # thousands of CacheLine objects of which a short run touches a
+            # fraction; indexed access is the same speed as a list.  Only
+            # callers that never iterate ``lines``/``lru`` positionally may
+            # ask for this (ControlledCache scans rows, so it must not).
+            self.lines = defaultdict(
+                lambda: [CacheLine() for _ in range(assoc)]
+            )
+            self.lru = defaultdict(lambda: list(range(assoc)))
+        else:
+            self.lines = [
+                [CacheLine() for _ in range(assoc)]
+                for _ in range(geometry.n_sets)
+            ]
+            self.lru = [
+                list(range(assoc)) for _ in range(geometry.n_sets)
+            ]
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -67,14 +87,12 @@ class Cache:
 
     def slice_addr(self, addr: int) -> tuple[int, int]:
         """Return ``(set_index, tag)`` for a byte address."""
-        g = self.geometry
-        line_addr = addr >> g.offset_bits
-        return line_addr & (g.n_sets - 1), line_addr >> g.index_bits
+        line_addr = addr >> self._offset_bits
+        return line_addr & self._set_mask, line_addr >> self._index_bits
 
     def line_addr_of(self, set_idx: int, tag: int) -> int:
         """Reconstruct the byte address of a line from its set and tag."""
-        g = self.geometry
-        return ((tag << g.index_bits) | set_idx) << g.offset_bits
+        return ((tag << self._index_bits) | set_idx) << self._offset_bits
 
     # ------------------------------------------------------------------
     # Primitives
@@ -108,10 +126,22 @@ class Cache:
         return self.lru[set_idx][-1]
 
     def fill(self, addr: int, *, is_write: bool = False) -> Victim | None:
-        """Install a line (write-allocate), returning any dirty victim."""
-        set_idx, tag = self.slice_addr(addr)
-        way = self.choose_victim(set_idx)
-        line = self.lines[set_idx][way]
+        """Install a line (write-allocate), returning any dirty victim.
+
+        Victim choice and the LRU touch are inlined (miss path of every
+        per-op access).
+        """
+        line_addr = addr >> self._offset_bits
+        set_idx = line_addr & self._set_mask
+        tag = line_addr >> self._index_bits
+        ways = self.lines[set_idx]
+        order = self.lru[set_idx]
+        way = order[-1]  # true LRU, unless an invalid way exists
+        for w in reversed(order):
+            if not ways[w].valid:
+                way = w
+                break
+        line = ways[way]
         victim = None
         if line.valid and line.dirty:
             victim = Victim(addr=self.line_addr_of(set_idx, line.tag), dirty=True)
@@ -121,7 +151,8 @@ class Cache:
         line.dirty = is_write
         line.mode = LineMode.ACTIVE
         line.decay_counter = 0
-        self.touch(set_idx, way)
+        order.remove(way)
+        order.insert(0, way)
         return victim
 
     def invalidate(self, addr: int) -> bool:
@@ -138,19 +169,35 @@ class Cache:
     # ------------------------------------------------------------------
 
     def access(self, addr: int, *, is_write: bool = False) -> tuple[bool, Victim | None]:
-        """Ordinary access: returns ``(hit, victim)`` and updates stats."""
-        self.stats.accesses += 1
-        set_idx, _tag, way = self.probe(addr)
-        if way is not None:
-            self.stats.hits += 1
-            self.touch(set_idx, way, is_write=is_write)
-            return True, None
-        self.stats.misses += 1
+        """Ordinary access: returns ``(hit, victim)`` and updates stats.
+
+        The probe/touch pair is inlined here: this is the per-op hot path
+        for the uncontrolled caches and the method-call overhead is
+        measurable at trace scale.
+        """
+        stats = self.stats
+        stats.accesses += 1
+        line_addr = addr >> self._offset_bits
+        set_idx = line_addr & self._set_mask
+        tag = line_addr >> self._index_bits
+        for way, line in enumerate(self.lines[set_idx]):
+            if line.valid and line.tag == tag:
+                stats.hits += 1
+                order = self.lru[set_idx]
+                order.remove(way)
+                order.insert(0, way)
+                if is_write:
+                    line.dirty = True
+                return True, None
+        stats.misses += 1
         victim = self.fill(addr, is_write=is_write)
         return False, victim
 
     def valid_line_count(self) -> int:
         """Number of valid lines (used by tests and occupancy metrics)."""
-        return sum(
-            1 for ways in self.lines for line in ways if line.valid
+        rows = (
+            self.lines.values()
+            if isinstance(self.lines, dict)
+            else self.lines
         )
+        return sum(1 for ways in rows for line in ways if line.valid)

@@ -17,7 +17,7 @@ from repro.leakctl.controlled import ControlledCache
 from repro.power.wattch import EnergyAccountant
 
 
-@dataclass
+@dataclass(slots=True)
 class DataAccessResult:
     """Timing outcome of one data access."""
 
@@ -50,13 +50,33 @@ class MemoryHierarchy:
         self.accountant = accountant
         self.ifetch_wake_ahead = ifetch_wake_ahead
         self.controlled_l1i = l1i
-        self.l1i = l1i.cache if l1i is not None else Cache("l1i", config.l1i_geometry)
+        self.l1i = (
+            l1i.cache
+            if l1i is not None
+            else Cache("l1i", config.l1i_geometry, lazy_sets=True)
+        )
         self.controlled_l2 = l2
-        self.l2 = l2.cache if l2 is not None else Cache("l2", config.l2_geometry)
+        self.l2 = (
+            l2.cache
+            if l2 is not None
+            else Cache("l2", config.l2_geometry, lazy_sets=True)
+        )
         self.controlled_l1d = l1d
         self.plain_l1d = (
-            Cache("l1d", config.l1d_geometry) if l1d is None else None
+            Cache("l1d", config.l1d_geometry, lazy_sets=True)
+            if l1d is None
+            else None
         )
+        # Hot-path bindings: the accountant's Counter (event increments go
+        # straight in, preserving the per-event insertion order add() would
+        # produce) and the fixed latencies.
+        self._counts = accountant.counts
+        self._l1i_latency = config.l1i_latency
+        self._l1d_latency = config.l1d_latency
+        self._l2_latency = config.l2_latency
+        self._mem_latency = config.mem_latency
+        # All L1D hits with no technique penalty share one result object.
+        self._l1d_hit = DataAccessResult(latency=config.l1d_latency, l1_hit=True)
 
     @property
     def l1d_stats(self):
@@ -70,14 +90,14 @@ class MemoryHierarchy:
 
     def inst_fetch(self, addr: int, cycle: int) -> int:
         """Fetch latency (cycles) for the line containing ``addr``."""
-        self.accountant.add("l1i_read")
+        self._counts["l1i_read"] += 1
         if self.controlled_l1i is not None:
             return self._controlled_inst_fetch(addr, cycle)
         hit, victim = self.l1i.access(addr)
         if hit:
-            return self.config.l1i_latency
-        latency = self.config.l1i_latency + self._l2_read(addr, cycle)
-        self.accountant.add("l1i_fill")
+            return self._l1i_latency
+        latency = self._l1i_latency + self._l2_read(addr, cycle)
+        self._counts["l1i_fill"] += 1
         if victim is not None:
             self._writeback(victim.addr)
         return latency
@@ -107,7 +127,7 @@ class MemoryHierarchy:
             + self._l2_read(addr, cycle)
             - outcome.tag_check_saving
         )
-        self.accountant.add("l1i_fill")
+        self._counts["l1i_fill"] += 1
         victim = ctl.fill(addr, is_write=False, cycle=cycle + latency)
         if victim is not None:
             self._writeback(victim.addr)
@@ -132,19 +152,15 @@ class MemoryHierarchy:
 
     def data_access(self, addr: int, *, is_write: bool, cycle: int) -> DataAccessResult:
         """Access the D-cache; on a miss, go to L2/memory and fill."""
-        self.accountant.add("l1d_write" if is_write else "l1d_read")
-        if self.controlled_l1d is None:
-            return self._plain_data_access(addr, is_write=is_write, cycle=cycle)
-        return self._controlled_data_access(addr, is_write=is_write, cycle=cycle)
-
-    def _plain_data_access(
-        self, addr: int, *, is_write: bool, cycle: int
-    ) -> DataAccessResult:
-        hit, victim = self.plain_l1d.access(addr, is_write=is_write)
+        self._counts["l1d_write" if is_write else "l1d_read"] += 1
+        plain = self.plain_l1d
+        if plain is None:
+            return self._controlled_data_access(addr, is_write=is_write, cycle=cycle)
+        hit, victim = plain.access(addr, is_write=is_write)
         if hit:
-            return DataAccessResult(latency=self.config.l1d_latency, l1_hit=True)
-        latency = self.config.l1d_latency + self._l2_read(addr, cycle)
-        self.accountant.add("l1d_fill")
+            return self._l1d_hit
+        latency = self._l1d_latency + self._l2_read(addr, cycle)
+        self._counts["l1d_fill"] += 1
         if victim is not None:
             self._writeback(victim.addr)
         return DataAccessResult(latency=latency, l1_hit=False)
@@ -155,13 +171,16 @@ class MemoryHierarchy:
         ctl = self.controlled_l1d
         outcome = ctl.access(addr, is_write=is_write, cycle=cycle)
         if outcome.hit:
+            extra = outcome.extra_latency
+            if extra == 0:
+                return self._l1d_hit
             return DataAccessResult(
-                latency=self.config.l1d_latency + outcome.extra_latency,
+                latency=self._l1d_latency + extra,
                 l1_hit=True,
             )
         l2_latency = self._l2_read(addr, cycle)
         latency = (
-            self.config.l1d_latency
+            self._l1d_latency
             + outcome.extra_latency
             + l2_latency
             - outcome.tag_check_saving
@@ -171,7 +190,7 @@ class MemoryHierarchy:
         ready = outcome.fill_ready_cycle
         if ready > cycle + latency:
             latency = ready - cycle
-        self.accountant.add("l1d_fill")
+        self._counts["l1d_fill"] += 1
         victim = ctl.fill(addr, is_write=is_write, cycle=cycle + latency)
         if victim is not None:
             self._writeback(victim.addr)
@@ -185,17 +204,18 @@ class MemoryHierarchy:
 
     def _l2_read(self, addr: int, cycle: int) -> int:
         """L2 access latency, filling from memory on an L2 miss."""
-        self.accountant.add("l2_access")
+        counts = self._counts
+        counts["l2_access"] += 1
         if self.controlled_l2 is not None:
             return self._controlled_l2_read(addr, cycle)
         hit, victim = self.l2.access(addr)
         if hit:
-            return self.config.l2_latency
-        self.accountant.add("mem_access")
-        self.accountant.add("l2_fill")
+            return self._l2_latency
+        counts["mem_access"] += 1
+        counts["l2_fill"] += 1
         if victim is not None:
-            self.accountant.add("mem_access")  # L2 dirty victim to memory
-        return self.config.l2_latency + self.config.mem_latency
+            counts["mem_access"] += 1  # L2 dirty victim to memory
+        return self._l2_latency + self._mem_latency
 
     def _controlled_l2_read(self, addr: int, cycle: int) -> int:
         """L2 access through a leakage-controlled L2.
@@ -217,36 +237,36 @@ class MemoryHierarchy:
             + self.config.mem_latency
             - outcome.tag_check_saving
         )
-        self.accountant.add("mem_access")
-        self.accountant.add("l2_fill")
+        self._counts["mem_access"] += 1
+        self._counts["l2_fill"] += 1
         victim = ctl.fill(addr, is_write=False, cycle=cycle + latency)
         if victim is not None:
-            self.accountant.add("mem_access")  # L2 dirty victim to memory
+            self._counts["mem_access"] += 1  # L2 dirty victim to memory
         return latency
 
     def _writeback(self, addr: int) -> None:
         """Write an L1 victim back to L2 (buffered: energy, no stall)."""
-        self.accountant.add("l2_writeback")
+        self._counts["l2_writeback"] += 1
         if self.controlled_l2 is not None:
             # Touching the L2 with a writeback counts as an access for the
             # decay machinery; a decayed target line is write-allocated.
             ctl = self.controlled_l2
             outcome = ctl.access(addr, is_write=True, cycle=0)
             if not outcome.hit:
-                self.accountant.add("l2_fill")
+                self._counts["l2_fill"] += 1
                 victim = ctl.fill(addr, is_write=True, cycle=0)
                 if victim is not None:
-                    self.accountant.add("mem_access")
+                    self._counts["mem_access"] += 1
             return
         set_idx, tag, way = self.l2.probe(addr)
         if way is not None:
             self.l2.touch(set_idx, way, is_write=True)
         else:
             # Write-allocate the dirty line in L2.
-            self.accountant.add("l2_fill")
+            self._counts["l2_fill"] += 1
             victim = self.l2.fill(addr, is_write=True)
             if victim is not None:
-                self.accountant.add("mem_access")
+                self._counts["mem_access"] += 1
 
     def finalize(self, cycle: int) -> None:
         """Close leakage integration at the end of a run."""

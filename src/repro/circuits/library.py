@@ -26,8 +26,20 @@ from scipy.optimize import brentq
 
 from repro.circuits.netlist import GND_NODE, VDD_NODE, Netlist, Transistor
 from repro.leakage.bsim3 import DeviceParams, device_subthreshold_current
-from repro.tech.constants import ROOM_TEMP_K
+from repro.tech.constants import ROOM_TEMP_K, quantise_temp
 from repro.tech.nodes import TechnologyNode
+
+# Memoised residual fractions.  Both fractions are pure functions of a
+# frozen TechnologyNode and a handful of floats; the gated one runs a
+# brentq root-find per call.  Keys quantise the temperature to a 1 µK
+# grid (see ``quantise_temp``) — the computation itself always uses the
+# exact temperature of the first call for a given key.
+_RESIDUAL_MEMO: dict[tuple, float] = {}
+
+
+def clear_residual_memo() -> None:
+    """Drop every memoised residual fraction (tests and benchmarks)."""
+    _RESIDUAL_MEMO.clear()
 
 # Typical 6T SRAM sizing (aspect ratios), used across the library.
 SRAM_PULLDOWN_WL = 2.0
@@ -210,6 +222,10 @@ def drowsy_residual_fraction(
         raise ValueError(
             f"drowsy voltage {v_drowsy} must lie strictly between 0 and vdd={vdd}"
         )
+    memo_key = ("drowsy", node, vdd, quantise_temp(temp_k), v_drowsy)
+    cached = _RESIDUAL_MEMO.get(memo_key)
+    if cached is not None:
+        return cached
     p_active = vdd * sram6t_leakage(node, vdd=vdd, temp_k=temp_k)
     # In drowsy mode the bit lines remain precharged at full Vdd but the
     # access transistor's source node tracks the lowered cell rail; its
@@ -217,7 +233,9 @@ def drowsy_residual_fraction(
     p_drowsy = v_drowsy * sram6t_leakage(
         node, vdd=v_drowsy, temp_k=temp_k, bitline_voltage=vdd
     )
-    return p_drowsy / p_active
+    result = p_drowsy / p_active
+    _RESIDUAL_MEMO[memo_key] = result
+    return result
 
 
 def gated_residual_fraction(
@@ -240,6 +258,17 @@ def gated_residual_fraction(
     source has risen to ``v_x``) plus body effect — the stack effect that
     makes sleep transistors so effective.
     """
+    memo_key = (
+        "gated",
+        node,
+        vdd,
+        quantise_temp(temp_k),
+        footer_vth_shift,
+        footer_w_over_l,
+    )
+    cached = _RESIDUAL_MEMO.get(memo_key)
+    if cached is not None:
+        return cached
     footer = DeviceParams(
         node=node, pmos=False, w_over_l=footer_w_over_l, vth_shift=footer_vth_shift
     )
@@ -273,7 +302,9 @@ def gated_residual_fraction(
 
     p_gated = vdd * cell_current(v_solution)
     p_active = vdd * sram6t_leakage(node, vdd=vdd, temp_k=temp_k)
-    return min(p_gated / p_active, 1.0)
+    result = min(p_gated / p_active, 1.0)
+    _RESIDUAL_MEMO[memo_key] = result
+    return result
 
 
 def _footer_current(

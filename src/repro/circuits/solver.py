@@ -27,10 +27,24 @@ from dataclasses import dataclass
 from scipy.optimize import brentq
 
 from repro.circuits.netlist import GND_NODE, VDD_NODE, Netlist, Transistor
-from repro.tech.constants import ROOM_TEMP_K, thermal_voltage
+from repro.tech.constants import ROOM_TEMP_K, quantise_temp, thermal_voltage
 from repro.tech.nodes import TechnologyNode
 
 _EXP_CAP = 60.0  # cap softplus arguments to avoid overflow
+
+# Memoised DC solves.  A solve is fully determined by the technology node,
+# the rails (vdd, T), the netlist topology and the input combination — and
+# the relaxation/brentq iteration underneath is by far the most expensive
+# analytic step, so sweeps that revisit an operating point (k_design surface
+# fits, residual-fraction tables, repeated figure points) skip it entirely.
+# Keys quantise the temperature to a 1 µK grid (see ``quantise_temp``); the
+# stored :class:`DCResult` is treated as immutable by every caller.
+_SOLVE_MEMO: dict[tuple, "DCResult"] = {}
+
+
+def clear_solve_memo() -> None:
+    """Drop every memoised DC solve (tests and benchmarks)."""
+    _SOLVE_MEMO.clear()
 
 
 def _softplus(x: float) -> float:
@@ -149,6 +163,24 @@ class LeakageSolver:
         if missing:
             raise ValueError(f"missing input values for {missing}")
 
+        # Memo key: the full (frozen) technology node — not just its name,
+        # since ``with_overrides`` yields same-named variants — the rails,
+        # and the exact netlist topology + input combination.  ``Netlist``
+        # is mutable, so fingerprint its (hashable) contents.
+        memo_key = (
+            self.node,
+            self.vdd,
+            quantise_temp(self.temp_k),
+            netlist.name,
+            tuple(netlist.transistors),
+            netlist.inputs,
+            netlist.output,
+            tuple(sorted(input_values.items())),
+        )
+        cached = _SOLVE_MEMO.get(memo_key)
+        if cached is not None:
+            return cached
+
         fixed: dict[str, float] = {VDD_NODE: self.vdd, GND_NODE: 0.0}
         for name, value in input_values.items():
             fixed[name] = self.vdd * value if value in (0, 1) else float(value)
@@ -174,12 +206,14 @@ class LeakageSolver:
         # Current out of VDD = -(net current into vdd node).
         supply = -net[VDD_NODE] if VDD_NODE in net else 0.0
         ground = net[GND_NODE] if GND_NODE in net else 0.0
-        return DCResult(
+        result = DCResult(
             voltages=solved,
             supply_current=supply,
             ground_current=ground,
             residual_norm=residual_norm,
         )
+        _SOLVE_MEMO[memo_key] = result
+        return result
 
     def _relax(
         self,

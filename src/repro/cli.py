@@ -253,6 +253,83 @@ def _cmd_gen_trace(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json
+    import os
+
+    from repro.bench import check_regression, run_bench
+    from repro.bench.core import write_report
+
+    baseline = None
+    baseline_path = args.baseline
+    if baseline_path is None:
+        default = os.path.join("benchmarks", "bench_baseline.json")
+        baseline_path = default if os.path.exists(default) else ""
+    if baseline_path:
+        try:
+            with open(baseline_path, encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except OSError as exc:
+            print(f"error reading baseline: {exc}", file=sys.stderr)
+            return 2
+    report = run_bench(
+        quick=args.quick,
+        repeats=args.repeats,
+        baseline=baseline,
+        progress=print,
+    )
+    write_report(report, args.output)
+    print(f"report written to {args.output}")
+    if args.check:
+        if baseline is None:
+            print("error: --check needs a baseline file", file=sys.stderr)
+            return 2
+        failures = check_regression(report, baseline, tolerance=args.tolerance)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            f"regression gate passed "
+            f"({report['reference']['speedup']:.2f}x over reference path)"
+        )
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    import cProfile
+    import pstats
+
+    if args.benchmark not in BENCHMARK_NAMES:
+        print(
+            f"unknown benchmark {args.benchmark!r}; known: "
+            + ", ".join(BENCHMARK_NAMES),
+            file=sys.stderr,
+        )
+        return 2
+    technique = technique_by_name(args.technique)
+    kwargs = dict(
+        l2_latency=args.l2,
+        temp_c=args.temp,
+        decay_interval=args.interval,
+        n_ops=args.ops,
+    )
+    if args.warm:
+        # Untimed first pass: the profile then shows the simulation hot
+        # path instead of one-off analytic derivations.
+        figure_point(args.benchmark, technique, **kwargs)
+        from repro.experiments.runner import clear_baseline_cache
+
+        clear_baseline_cache()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    figure_point(args.benchmark, technique, **kwargs)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
+    return 0
+
+
 def _cmd_reproduce(args) -> int:
     from repro.experiments.campaign import run_campaign
 
@@ -335,6 +412,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_exec_flags(rep)
     rep.set_defaults(func=_cmd_reproduce)
+
+    bench = sub.add_parser(
+        "bench", help="time the simulation hot path and write BENCH.json"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke subset with fewer repeats",
+    )
+    bench.add_argument(
+        "--repeats", type=_positive_int, default=None,
+        help="timed iterations per scenario (min-of-N is reported)",
+    )
+    bench.add_argument(
+        "--output", default="BENCH.json", help="report path (JSON)"
+    )
+    bench.add_argument(
+        "--baseline", default=None,
+        help="baseline report to compare against "
+             "(default: benchmarks/bench_baseline.json if present)",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when the in-process reference speedup "
+             "regresses vs the baseline",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional regression for --check (default 0.25)",
+    )
+    bench.set_defaults(func=_cmd_bench)
+
+    prof = sub.add_parser(
+        "profile", help="cProfile one figure point (hot-path diagnosis)"
+    )
+    prof.add_argument("benchmark")
+    prof.add_argument("technique", help="drowsy, gated-vss or rbb")
+    prof.add_argument("--l2", type=int, default=11, help="L2 latency (cycles)")
+    prof.add_argument("--temp", type=float, default=110.0)
+    prof.add_argument("--interval", type=int, default=4096)
+    prof.add_argument("--ops", type=int, default=20_000)
+    prof.add_argument(
+        "--sort", default="cumulative",
+        help="pstats sort key (cumulative, tottime, calls, ...)",
+    )
+    prof.add_argument(
+        "--limit", type=int, default=25, help="rows of profile output"
+    )
+    prof.add_argument(
+        "--cold", dest="warm", action="store_false",
+        help="profile the cold path too (include analytic derivations)",
+    )
+    prof.set_defaults(func=_cmd_profile)
 
     val = sub.add_parser(
         "validate", help="grade a reproduce output directory against the paper"

@@ -60,15 +60,19 @@ class HybridPredictor:
         self.chooser = [2] * chooser_entries  # >=2 selects GAg
         self.history_mask = (1 << gag_history_bits) - 1
         self.history = 0
+        # Index masks, hoisted out of the per-branch paths.
+        self._bimod_mask = bimod_entries - 1
+        self._gag_mask = gag_entries - 1
+        self._chooser_mask = chooser_entries - 1
         self.stats = PredictorStats()
 
     def _indices(self, pc: int) -> tuple[int, int, int]:
         word = pc >> 2
         # GAg indexes its table purely by global history (no PC bits).
         return (
-            word & (len(self.bimod) - 1),
-            self.history & (len(self.gag) - 1),
-            word & (len(self.chooser) - 1),
+            word & self._bimod_mask,
+            self.history & self._gag_mask,
+            word & self._chooser_mask,
         )
 
     def predict(self, pc: int) -> bool:
@@ -85,29 +89,37 @@ class HybridPredictor:
         component was right, and shifts the global history (as SimpleScalar
         does, with the actual outcome).
         """
-        self.stats.lookups += 1
-        bi, gi, ci = self._indices(pc)
-        bimod_pred = self.bimod[bi] >= 2
-        gag_pred = self.gag[gi] >= 2
-        use_gag = self.chooser[ci] >= 2
-        predicted = gag_pred if use_gag else bimod_pred
+        stats = self.stats
+        stats.lookups += 1
+        bimod = self.bimod
+        gag = self.gag
+        chooser = self.chooser
+        word = pc >> 2
+        bi = word & self._bimod_mask
+        gi = self.history & self._gag_mask
+        ci = word & self._chooser_mask
+        b = bimod[bi]
+        g = gag[gi]
+        bimod_pred = b >= 2
+        gag_pred = g >= 2
+        predicted = gag_pred if chooser[ci] >= 2 else bimod_pred
 
         if bimod_pred != gag_pred:
             if gag_pred == taken:
-                self.chooser[ci] = _saturate_up(self.chooser[ci])
+                chooser[ci] = _saturate_up(chooser[ci])
             else:
-                self.chooser[ci] = _saturate_down(self.chooser[ci])
+                chooser[ci] = _saturate_down(chooser[ci])
         if taken:
-            self.bimod[bi] = _saturate_up(self.bimod[bi])
-            self.gag[gi] = _saturate_up(self.gag[gi])
+            bimod[bi] = _saturate_up(b)
+            gag[gi] = _saturate_up(g)
         else:
-            self.bimod[bi] = _saturate_down(self.bimod[bi])
-            self.gag[gi] = _saturate_down(self.gag[gi])
+            bimod[bi] = _saturate_down(b)
+            gag[gi] = _saturate_down(g)
 
         self.history = ((self.history << 1) | int(taken)) & self.history_mask
         correct = predicted == taken
         if not correct:
-            self.stats.direction_mispredicts += 1
+            stats.direction_mispredicts += 1
         return correct
 
 

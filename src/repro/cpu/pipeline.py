@@ -32,12 +32,11 @@ if TYPE_CHECKING:  # avoid a circular import with repro.cache.hierarchy
 
 from repro.cpu.branch import BranchTargetBuffer, HybridPredictor
 from repro.cpu.config import MachineConfig
-from repro.cpu.isa import MEM_OPS, MicroOp, OpClass
+from repro.cpu.isa import MicroOp, OpClass
 from repro.cpu.metrics import RunStats
 from repro.power.wattch import EnergyAccountant
 
 _FETCH_QUEUE_DEPTH = 16
-_MAX_CYCLES_PER_OP = 600  # runaway guard for the main loop
 
 
 @dataclass(slots=True)
@@ -60,6 +59,18 @@ class _FuPool:
 
     def __init__(self, config: MachineConfig) -> None:
         self.config = config
+        # Pool sizes and latencies, hoisted out of the per-issue path.
+        self._n_int_alu = config.n_int_alu
+        self._n_int_mult = config.n_int_mult
+        self._n_fp_alu = config.n_fp_alu
+        self._n_fp_mult = config.n_fp_mult
+        self._n_mem_ports = config.n_mem_ports
+        self._lat_int_alu = config.lat_int_alu
+        self._lat_int_mult = config.lat_int_mult
+        self._lat_int_div = config.lat_int_div
+        self._lat_fp_alu = config.lat_fp_alu
+        self._lat_fp_mult = config.lat_fp_mult
+        self._lat_fp_div = config.lat_fp_div
         self.reset()
         self.imul_busy_until = 0
         self.fpmul_busy_until = 0
@@ -73,38 +84,37 @@ class _FuPool:
 
     def acquire(self, op: OpClass, cycle: int) -> int | None:
         """Try to claim a unit; returns the op latency or None if busy."""
-        cfg = self.config
-        if op in (OpClass.IALU, OpClass.BRANCH):
-            if self.ialu >= cfg.n_int_alu:
+        if op is OpClass.IALU or op is OpClass.BRANCH:
+            if self.ialu >= self._n_int_alu:
                 return None
             self.ialu += 1
-            return cfg.lat_int_alu
-        if op is OpClass.IMUL or op is OpClass.IDIV:
-            if self.imul >= cfg.n_int_mult or cycle < self.imul_busy_until:
-                return None
-            self.imul += 1
-            if op is OpClass.IDIV:
-                self.imul_busy_until = cycle + cfg.lat_int_div  # non-pipelined
-                return cfg.lat_int_div
-            return cfg.lat_int_mult
-        if op is OpClass.FPALU:
-            if self.fpalu >= cfg.n_fp_alu:
-                return None
-            self.fpalu += 1
-            return cfg.lat_fp_alu
-        if op is OpClass.FPMUL or op is OpClass.FPDIV:
-            if self.fpmul >= cfg.n_fp_mult or cycle < self.fpmul_busy_until:
-                return None
-            self.fpmul += 1
-            if op is OpClass.FPDIV:
-                self.fpmul_busy_until = cycle + cfg.lat_fp_div
-                return cfg.lat_fp_div
-            return cfg.lat_fp_mult
-        if op in MEM_OPS:
-            if self.mem >= cfg.n_mem_ports:
+            return self._lat_int_alu
+        if op is OpClass.LOAD or op is OpClass.STORE:
+            if self.mem >= self._n_mem_ports:
                 return None
             self.mem += 1
             return 1  # address generation; loads add cache latency
+        if op is OpClass.IMUL or op is OpClass.IDIV:
+            if self.imul >= self._n_int_mult or cycle < self.imul_busy_until:
+                return None
+            self.imul += 1
+            if op is OpClass.IDIV:
+                self.imul_busy_until = cycle + self._lat_int_div  # non-pipelined
+                return self._lat_int_div
+            return self._lat_int_mult
+        if op is OpClass.FPALU:
+            if self.fpalu >= self._n_fp_alu:
+                return None
+            self.fpalu += 1
+            return self._lat_fp_alu
+        if op is OpClass.FPMUL or op is OpClass.FPDIV:
+            if self.fpmul >= self._n_fp_mult or cycle < self.fpmul_busy_until:
+                return None
+            self.fpmul += 1
+            if op is OpClass.FPDIV:
+                self.fpmul_busy_until = cycle + self._lat_fp_div
+                return self._lat_fp_div
+            return self._lat_fp_mult
         raise ValueError(f"unknown op class {op}")
 
 
@@ -119,8 +129,13 @@ class Pipeline:
         *,
         predictor: HybridPredictor | None = None,
         btb: BranchTargetBuffer | None = None,
+        reference: bool = False,
     ) -> None:
         self.config = config
+        # Reference mode disables the event-driven clock skip and steps
+        # every idle cycle individually — the slow path the golden
+        # equivalence tests compare against.
+        self.reference = reference
         self.hierarchy = hierarchy
         self.accountant = accountant
         self.predictor = predictor or HybridPredictor(
@@ -137,7 +152,16 @@ class Pipeline:
     # ------------------------------------------------------------------
 
     def run(self, trace: Iterable[MicroOp], *, max_cycles: int | None = None) -> RunStats:
-        """Simulate the trace to completion; returns the run statistics."""
+        """Simulate the trace to completion; returns the run statistics.
+
+        The loop is event-driven: a cycle in which nothing completed,
+        committed, issued, dispatched or fetched leaves the machine state
+        untouched except for the clock, so the clock jumps straight to the
+        next scheduled event (the earliest completion, or the end of an
+        I-fetch stall) and the skipped cycles are accounted in bulk.  The
+        per-cycle trajectory — and therefore every statistic and energy
+        count — is bit-identical to stepping one cycle at a time.
+        """
         cfg = self.config
         source: Iterator[MicroOp] = iter(trace)
         ruu: deque[_Entry] = deque()
@@ -162,130 +186,182 @@ class Pipeline:
 
         stats = self.stats
 
+        # Hot-loop bindings: resolved once instead of per cycle.
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        data_access = self.hierarchy.data_access
+        inst_fetch = self.hierarchy.inst_fetch
+        next_source = source.__next__
+        predictor_update = self.predictor.update
+        predictor_stats = self.predictor.stats
+        btb_lookup = self.btb.lookup
+        btb_install = self.btb.install
+        acquire = fus.acquire
+        fus_reset = fus.reset
+        commit_width = cfg.commit_width
+        issue_width = cfg.issue_width
+        fetch_width = cfg.fetch_width
+        ruu_size = cfg.ruu_size
+        lsq_size = cfg.lsq_size
+        mshr_entries = cfg.mshr_entries
+        mispredict_penalty = cfg.mispredict_penalty
+        l1i_latency = cfg.l1i_latency
+        LOAD = OpClass.LOAD
+        STORE = OpClass.STORE
+        BRANCH = OpClass.BRANCH
+        FPALU = OpClass.FPALU
+        FPMUL = OpClass.FPMUL
+        FPDIV = OpClass.FPDIV
+        IMUL = OpClass.IMUL
+        IDIV = OpClass.IDIV
+
+        committed_total = 0
+        issued_total = 0
+        fetched_total = 0
+        loads_total = 0
+        stores_total = 0
+        branches_total = 0
+        # Cycle/issue totals batch into locals and flush once at the end:
+        # add_cycle only increments two integers, so the batch is exact.
+        cycles_acct = 0
+        issued_acct = 0
+        # Event counts go straight into the accountant's Counter.  Inline
+        # increments skip the add() call overhead (millions of calls per
+        # run) while keeping the counter's key-insertion order — and with
+        # it the float summation order of the energy report — exactly what
+        # per-event add() calls would produce.
+        counts = self.accountant.counts
+
         while True:
-            if not trace_done or fetch_queue or ruu or completions:
-                pass
-            else:
+            if trace_done and not fetch_queue and not ruu and not completions:
                 break
             if max_cycles is not None and cycle > max_cycles:
                 break
-            if cycle > _MAX_CYCLES_PER_OP * max(stats.fetched, 1) + 10_000:
-                raise RuntimeError(
-                    f"pipeline wedged at cycle {cycle} "
-                    f"(fetched={stats.fetched}, committed={stats.committed})"
-                )
 
             # ---- 1. completions -------------------------------------
+            popped = 0
             while completions and completions[0][0] <= cycle:
-                _, _, entry = heapq.heappop(completions)
+                _, _, entry = heappop(completions)
+                popped += 1
                 entry.done = True
                 if entry.holds_mshr:
                     outstanding_misses -= 1
                 if entry.blocks_fetch:
                     fetch_blockers -= 1
                     fetch_stall_until = max(
-                        fetch_stall_until, cycle + cfg.mispredict_penalty
+                        fetch_stall_until, cycle + mispredict_penalty
                     )
                 for consumer in entry.consumers:
                     consumer.n_wait -= 1
                     if consumer.n_wait == 0 and not consumer.issued:
-                        heapq.heappush(ready, (consumer.seq, consumer))
+                        heappush(ready, (consumer.seq, consumer))
                 entry.consumers.clear()
 
             # ---- 2. commit ------------------------------------------
             committed_now = 0
-            while ruu and committed_now < cfg.commit_width and ruu[0].done:
+            while ruu and committed_now < commit_width and ruu[0].done:
                 entry = ruu.popleft()
                 op = entry.op
-                if op.op in MEM_OPS:
+                op_class = op.op
+                if op_class is LOAD or op_class is STORE:
                     lsq_count -= 1
-                if op.op is OpClass.STORE:
+                if op_class is STORE:
                     # Write-back through the write buffer: energy and cache
                     # state change now, no commit stall.
-                    self.hierarchy.data_access(op.addr, is_write=True, cycle=cycle)
-                    stats.stores += 1
+                    data_access(op.addr, is_write=True, cycle=cycle)
+                    stores_total += 1
                 if op.dest >= 0:
-                    self.accountant.add("regfile_write")
+                    counts["regfile_write"] += 1
                 if last_writer.get(op.dest) is entry:
                     del last_writer[op.dest]
-                self.accountant.add("window_commit")
-                stats.committed += 1
+                counts["window_commit"] += 1
+                committed_total += 1
                 committed_now += 1
 
             # ---- 3. issue -------------------------------------------
-            fus.reset()
+            # The FU pool only needs resetting when something may issue;
+            # the busy-until stamps deliberately survive (non-pipelined
+            # dividers), so skipping reset on a ready-less cycle is exact.
             issued_now = 0
-            deferred: list[tuple[int, _Entry]] = []
-            while ready and issued_now < cfg.issue_width:
-                seq_key, entry = heapq.heappop(ready)
-                latency = fus.acquire(entry.op.op, cycle)
-                if latency is None:
-                    deferred.append((seq_key, entry))
-                    continue
-                entry.issued = True
-                issued_now += 1
-                op = entry.op
-                if op.op is OpClass.LOAD:
-                    if (
-                        cfg.mshr_entries is not None
-                        and outstanding_misses >= cfg.mshr_entries
-                    ):
-                        # All miss-status registers busy: a load cannot
-                        # even probe (conservative MSHR model).
-                        entry.issued = False
-                        issued_now -= 1
+            if ready:
+                fus_reset()
+                deferred: list[tuple[int, _Entry]] = []
+                while ready and issued_now < issue_width:
+                    seq_key, entry = heappop(ready)
+                    latency = acquire(entry.op.op, cycle)
+                    if latency is None:
                         deferred.append((seq_key, entry))
                         continue
-                    self.accountant.add("lsq")
-                    result = self.hierarchy.data_access(
-                        op.addr, is_write=False, cycle=cycle
-                    )
-                    latency = result.latency
-                    if not result.l1_hit:
-                        outstanding_misses += 1
-                        entry.holds_mshr = True
-                    stats.loads += 1
-                elif op.op is OpClass.STORE:
-                    self.accountant.add("lsq")
-                elif op.op in (OpClass.FPALU,):
-                    self.accountant.add("fpalu")
-                elif op.op in (OpClass.FPMUL, OpClass.FPDIV):
-                    self.accountant.add("fpmul")
-                elif op.op in (OpClass.IMUL, OpClass.IDIV):
-                    self.accountant.add("imul")
-                else:
-                    self.accountant.add("alu")
-                if op.src1 >= 0:
-                    self.accountant.add("regfile_read")
-                if op.src2 >= 0:
-                    self.accountant.add("regfile_read")
-                self.accountant.add("window_issue")
-                entry.completion = cycle + latency
-                heapq.heappush(completions, (entry.completion, entry.seq, entry))
-            for item in deferred:
-                heapq.heappush(ready, item)
-            stats.issued += issued_now
+                    entry.issued = True
+                    issued_now += 1
+                    op = entry.op
+                    op_class = op.op
+                    if op_class is LOAD:
+                        if (
+                            mshr_entries is not None
+                            and outstanding_misses >= mshr_entries
+                        ):
+                            # All miss-status registers busy: a load cannot
+                            # even probe (conservative MSHR model).
+                            entry.issued = False
+                            issued_now -= 1
+                            deferred.append((seq_key, entry))
+                            continue
+                        counts["lsq"] += 1
+                        result = data_access(op.addr, is_write=False, cycle=cycle)
+                        latency = result.latency
+                        if not result.l1_hit:
+                            outstanding_misses += 1
+                            entry.holds_mshr = True
+                        loads_total += 1
+                    elif op_class is STORE:
+                        counts["lsq"] += 1
+                    elif op_class is FPALU:
+                        counts["fpalu"] += 1
+                    elif op_class is FPMUL or op_class is FPDIV:
+                        counts["fpmul"] += 1
+                    elif op_class is IMUL or op_class is IDIV:
+                        counts["imul"] += 1
+                    else:
+                        counts["alu"] += 1
+                    if op.src1 >= 0:
+                        counts["regfile_read"] += 1
+                    if op.src2 >= 0:
+                        counts["regfile_read"] += 1
+                    counts["window_issue"] += 1
+                    entry.completion = cycle + latency
+                    heappush(completions, (entry.completion, entry.seq, entry))
+                for item in deferred:
+                    heappush(ready, item)
+                issued_total += issued_now
 
             # ---- 4. dispatch ----------------------------------------
             dispatched = 0
             while (
                 fetch_queue
-                and dispatched < cfg.fetch_width
-                and len(ruu) < cfg.ruu_size
+                and dispatched < fetch_width
+                and len(ruu) < ruu_size
             ):
                 op, mispredicted = fetch_queue[0]
-                is_mem = op.op in MEM_OPS
-                if is_mem and lsq_count >= cfg.lsq_size:
+                op_class = op.op
+                is_mem = op_class is LOAD or op_class is STORE
+                if is_mem and lsq_count >= lsq_size:
                     break
                 fetch_queue.popleft()
                 entry = _Entry(seq=seq, op=op)
                 seq += 1
-                for src in (op.src1, op.src2):
-                    if src >= 0:
-                        producer = last_writer.get(src)
-                        if producer is not None and not producer.done:
-                            producer.consumers.append(entry)
-                            entry.n_wait += 1
+                src = op.src1
+                if src >= 0:
+                    producer = last_writer.get(src)
+                    if producer is not None and not producer.done:
+                        producer.consumers.append(entry)
+                        entry.n_wait += 1
+                src = op.src2
+                if src >= 0:
+                    producer = last_writer.get(src)
+                    if producer is not None and not producer.done:
+                        producer.consumers.append(entry)
+                        entry.n_wait += 1
                 if op.dest >= 0:
                     last_writer[op.dest] = entry
                 entry.blocks_fetch = mispredicted
@@ -293,31 +369,33 @@ class Pipeline:
                 if is_mem:
                     lsq_count += 1
                 if entry.n_wait == 0:
-                    heapq.heappush(ready, (entry.seq, entry))
-                self.accountant.add("window_dispatch")
+                    heappush(ready, (entry.seq, entry))
+                counts["window_dispatch"] += 1
                 dispatched += 1
 
             # ---- 5. fetch -------------------------------------------
-            if (
+            fetch_open = (
                 not trace_done
                 and cycle >= fetch_stall_until
                 and fetch_blockers == 0
                 and len(fetch_queue) < _FETCH_QUEUE_DEPTH
-            ):
+            )
+            if fetch_open:
                 fetched_now = 0
-                while fetched_now < cfg.fetch_width and len(fetch_queue) < _FETCH_QUEUE_DEPTH:
+                while fetched_now < fetch_width and len(fetch_queue) < _FETCH_QUEUE_DEPTH:
                     if pending_op is not None:
                         op, pending_op = pending_op, None
                     else:
-                        op = self._next_op(source)
-                    if op is None:
-                        trace_done = True
-                        break
+                        try:
+                            op = next_source()
+                        except StopIteration:
+                            trace_done = True
+                            break
                     line = op.pc >> line_shift
                     if line != cur_fetch_line:
-                        latency = self.hierarchy.inst_fetch(op.pc, cycle)
+                        latency = inst_fetch(op.pc, cycle)
                         cur_fetch_line = line
-                        if latency > cfg.l1i_latency:
+                        if latency > l1i_latency:
                             # I-cache miss: nothing from this line decodes
                             # until the fill returns; hold the op back.
                             fetch_stall_until = cycle + latency
@@ -325,55 +403,85 @@ class Pipeline:
                             break
                     stop_fetch = False
                     mispredicted = False
-                    if op.op is OpClass.BRANCH:
-                        stop_fetch, mispredicted = self._handle_branch(op)
-                        if mispredicted:
+                    if op.op is BRANCH:
+                        # Branch handling, inlined for the fetch hot path.
+                        # A direction mispredict gates fetch until the
+                        # branch's RUU entry resolves (plus redirect); a
+                        # correctly-predicted taken branch still ends the
+                        # fetch group, and a BTB miss on a taken branch is
+                        # counted (its decode-redirect bubble is folded
+                        # into the end-of-group effect).
+                        branches_total += 1
+                        counts["bpred"] += 1
+                        counts["btb"] += 1
+                        taken = op.taken
+                        correct = predictor_update(op.pc, taken)
+                        btb_target = btb_lookup(op.pc)
+                        if taken:
+                            btb_install(op.pc, op.target)
+                        if not correct:
+                            stop_fetch = True
+                            mispredicted = True
                             fetch_blockers += 1
+                        elif taken:
+                            if btb_target != op.target:
+                                predictor_stats.btb_misses += 1
+                            stop_fetch = True
                     fetch_queue.append((op, mispredicted))
-                    stats.fetched += 1
+                    fetched_total += 1
                     fetched_now += 1
                     if stop_fetch:
                         break
 
             # ---- 6. end of cycle ------------------------------------
-            self.accountant.add_cycle(issued=issued_now)
+            cycles_acct += 1
+            issued_acct += issued_now
             cycle += 1
+            if popped or committed_now or issued_now or dispatched or fetch_open:
+                continue
 
+            # ---- 7. event-driven skip -------------------------------
+            # The cycle that just ended was completely idle, so every
+            # cycle until the next scheduled event is idle too: the only
+            # cycle-dependent gates are the completion heap, the FU
+            # busy-until stamps (always covered by a pending completion),
+            # and the I-fetch stall.  Jump the clock there directly.
+            next_event = completions[0][0] if completions else None
+            if not trace_done and fetch_stall_until >= cycle:
+                if next_event is None or fetch_stall_until < next_event:
+                    next_event = fetch_stall_until
+            if next_event is None:
+                if max_cycles is None:
+                    # Work remains but no event will ever unblock it.  This
+                    # replaces the old cycles-per-op runaway guard: a wedge
+                    # is now detected immediately instead of after ~600
+                    # cycles per fetched op.
+                    raise RuntimeError(
+                        f"pipeline wedged at cycle {cycle}: no scheduled "
+                        f"event (fetched={fetched_total}, "
+                        f"committed={committed_total})"
+                    )
+                next_event = max_cycles + 1  # idle out the budget
+            elif max_cycles is not None and next_event > max_cycles + 1:
+                next_event = max_cycles + 1
+            if self.reference:
+                # Golden reference path: keep the wedge detection above but
+                # walk every idle cycle one at a time.
+                continue
+            if next_event > cycle:
+                cycles_acct += next_event - cycle
+                cycle = next_event
+
+        self.accountant.cycles += cycles_acct
+        self.accountant.issued_total += issued_acct
+        stats.committed += committed_total
+        stats.issued += issued_total
+        stats.fetched += fetched_total
+        stats.loads += loads_total
+        stats.stores += stores_total
+        stats.branches += branches_total
         stats.cycles = cycle
         stats.direction_mispredicts = self.predictor.stats.direction_mispredicts
         stats.btb_misses = self.predictor.stats.btb_misses
         self.hierarchy.finalize(cycle)
         return stats
-
-    # ------------------------------------------------------------------
-
-    @staticmethod
-    def _next_op(source: Iterator[MicroOp]) -> MicroOp | None:
-        try:
-            return next(source)
-        except StopIteration:
-            return None
-
-    def _handle_branch(self, op: MicroOp) -> tuple[bool, bool]:
-        """Predict and update tables.  Returns ``(stop_fetch, mispredicted)``.
-
-        A direction mispredict gates fetch until the branch's RUU entry
-        resolves (plus the redirect penalty).  A correctly-predicted taken
-        branch still ends the fetch group (redirect), and a BTB miss on a
-        taken branch is counted (its decode-redirect bubble is folded into
-        the end-of-group effect).
-        """
-        self.stats.branches += 1
-        self.accountant.add("bpred")
-        self.accountant.add("btb")
-        correct = self.predictor.update(op.pc, op.taken)
-        btb_target = self.btb.lookup(op.pc)
-        if op.taken:
-            self.btb.install(op.pc, op.target)
-        if not correct:
-            return True, True
-        if op.taken:
-            if btb_target != op.target:
-                self.predictor.stats.btb_misses += 1
-            return True, False
-        return False, False

@@ -22,7 +22,7 @@ from functools import lru_cache
 from repro.cache.cache import Cache
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.cpu.config import MachineConfig
-from repro.cpu.isa import MEM_OPS, OpClass
+from repro.cpu.isa import OpClass
 from repro.cpu.metrics import RunStats
 from repro.cpu.pipeline import Pipeline
 from repro.leakage.model import HotLeakage
@@ -45,6 +45,29 @@ DEFAULT_N_OPS = 20_000
 DEFAULT_WARMUP_OPS = 30_000
 DEFAULT_DECAY_INTERVAL = 4096
 DEFAULT_SEED = 1
+
+# Materialised synthetic traces, shared across runs.  A figure point
+# simulates the baseline and the technique over the *same* deterministic
+# op stream, and a sweep replays it for every point — generating it once
+# and iterating a tuple is pure win.  MicroOps are never mutated
+# downstream, so sharing is safe.  Small bound: entries are a few MB each.
+_TRACE_MEMO: dict[tuple, tuple] = {}
+_TRACE_MEMO_MAX = 4
+
+
+def _trace_cached(
+    benchmark: str, seed: int, n_ops: int, rng_mode: str
+) -> tuple:
+    key = (benchmark, seed, n_ops, rng_mode)
+    ops = _TRACE_MEMO.get(key)
+    if ops is None:
+        ops = tuple(
+            TraceGenerator(benchmark, seed=seed, rng_mode=rng_mode).ops(n_ops)
+        )
+        if len(_TRACE_MEMO) >= _TRACE_MEMO_MAX:
+            _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
+        _TRACE_MEMO[key] = ops
+    return ops
 
 # The decay-interval sweep grid: the paper sweeps 1k..64k cycles; we use
 # 1k..32k (the top octave never decays anything within our compressed
@@ -78,6 +101,107 @@ class RunOutput:
     controlled: ControlledCache | None = None
 
 
+# Memoised post-warmup machine state.  The functional warmup is a pure
+# function of (trace prefix, machine config): it deterministically fills
+# cache lines and trains the predictor/BTB, records no energy events, and
+# never touches the leakage-mode fields (it drives the raw caches
+# directly).  A figure point replays the identical warmup twice (baseline
+# + technique) and a sweep replays it per point, so snapshotting the warm
+# state and restoring it into the freshly-built structures skips the whole
+# 30k-op replay.  Restored runs are bit-identical to replayed ones (the
+# golden equivalence tests cover both paths).
+_WARMUP_MEMO: dict[tuple, tuple] = {}
+_WARMUP_MEMO_MAX = 8
+
+
+def _snapshot_cache(cache) -> tuple:
+    """Capture (set -> line states, set -> LRU order) for warmed sets."""
+    lines = cache.lines
+    items = lines.items() if isinstance(lines, dict) else enumerate(lines)
+    line_snap = []
+    touched = []
+    for set_idx, ways in items:
+        if any(line.valid for line in ways):
+            touched.append(set_idx)
+            line_snap.append(
+                (
+                    set_idx,
+                    tuple(
+                        (line.tag, line.valid, line.dirty) for line in ways
+                    ),
+                )
+            )
+    lru = cache.lru
+    lru_snap = tuple((s, tuple(lru[s])) for s in touched)
+    return tuple(line_snap), lru_snap
+
+
+def _restore_cache(cache, snap: tuple) -> None:
+    line_snap, lru_snap = snap
+    lines = cache.lines
+    for set_idx, ways in line_snap:
+        row = lines[set_idx]
+        for line, (tag, valid, dirty) in zip(row, ways):
+            line.tag = tag
+            line.valid = valid
+            line.dirty = dirty
+    lru = cache.lru
+    for set_idx, order in lru_snap:
+        lru[set_idx][:] = order
+
+
+def _snapshot_warm_state(hierarchy, pipeline) -> tuple:
+    l1d = (
+        hierarchy.controlled_l1d.cache
+        if hierarchy.controlled_l1d is not None
+        else hierarchy.plain_l1d
+    )
+    predictor = pipeline.predictor
+    btb = pipeline.btb
+    return (
+        _snapshot_cache(hierarchy.l1i),
+        _snapshot_cache(hierarchy.l2),
+        _snapshot_cache(l1d),
+        (
+            tuple(predictor.bimod),
+            tuple(predictor.gag),
+            tuple(predictor.chooser),
+            predictor.history,
+        ),
+        (
+            tuple(tuple(row) for row in btb.tags),
+            tuple(tuple(row) for row in btb.targets),
+            tuple(tuple(row) for row in btb.lru),
+        ),
+    )
+
+
+def _restore_warm_state(hierarchy, pipeline, snap: tuple) -> None:
+    l1i_snap, l2_snap, l1d_snap, pred_snap, btb_snap = snap
+    l1d = (
+        hierarchy.controlled_l1d.cache
+        if hierarchy.controlled_l1d is not None
+        else hierarchy.plain_l1d
+    )
+    _restore_cache(hierarchy.l1i, l1i_snap)
+    _restore_cache(hierarchy.l2, l2_snap)
+    _restore_cache(l1d, l1d_snap)
+    predictor = pipeline.predictor
+    bimod, gag, chooser, history = pred_snap
+    predictor.bimod[:] = bimod
+    predictor.gag[:] = gag
+    predictor.chooser[:] = chooser
+    predictor.history = history
+    btb = pipeline.btb
+    tags, targets, lru = btb_snap
+    for row, vals in zip(btb.tags, tags):
+        row[:] = vals
+    for row, vals in zip(btb.targets, targets):
+        row[:] = vals
+    for row, vals in zip(btb.lru, lru):
+        row[:] = vals
+
+
 def _functional_warmup(
     hierarchy: MemoryHierarchy,
     pipeline: Pipeline,
@@ -98,22 +222,31 @@ def _functional_warmup(
     )
     line_shift = machine.l1i_geometry.offset_bits
     cur_line = -1
+    # Hot-loop bindings (this loop replays tens of thousands of ops).
+    l1i_access = hierarchy.l1i.access
+    l2_access = hierarchy.l2.access
+    l1d_access = l1d.access
+    predictor_update = pipeline.predictor.update
+    btb_install = pipeline.btb.install
+    LOAD = OpClass.LOAD
+    STORE = OpClass.STORE
+    BRANCH = OpClass.BRANCH
     for op in ops:
         line = op.pc >> line_shift
         if line != cur_line:
             cur_line = line
-            hit, _ = hierarchy.l1i.access(op.pc)
+            hit, _ = l1i_access(op.pc)
             if not hit:
-                hierarchy.l2.access(op.pc)
-        if op.op in MEM_OPS:
-            is_write = op.op is OpClass.STORE
-            hit, _ = l1d.access(op.addr, is_write=is_write)
+                l2_access(op.pc)
+        op_class = op.op
+        if op_class is LOAD or op_class is STORE:
+            hit, _ = l1d_access(op.addr, is_write=op_class is STORE)
             if not hit:
-                hierarchy.l2.access(op.addr, is_write=False)
-        elif op.op is OpClass.BRANCH:
-            pipeline.predictor.update(op.pc, op.taken)
+                l2_access(op.addr, is_write=False)
+        elif op_class is BRANCH:
+            predictor_update(op.pc, op.taken)
             if op.taken:
-                pipeline.btb.install(op.pc, op.target)
+                btb_install(op.pc, op.target)
     # Measured stats start clean.
     l1d.stats.reset()
     hierarchy.l1i.stats.reset()
@@ -136,6 +269,7 @@ def run_once(
     target: str = "l1d",
     trace_ops=None,
     engine: str = "ooo",
+    reference: bool = False,
 ) -> RunOutput:
     """Run one benchmark once (baseline when ``technique`` is None).
 
@@ -148,6 +282,11 @@ def run_once(
     ``engine`` selects the timing model: ``"ooo"`` (the cycle-level
     out-of-order reference) or ``"fast"`` (analytical timing for wide
     sweeps; identical cache/energy state, estimated cycle count).
+    ``reference`` selects the unoptimised slow paths everywhere — the
+    cycle-by-cycle pipeline loop, the periodic full-array decay scan, and
+    the stdlib ``random.Random`` trace generator.  Results are
+    bit-identical to the default fast paths; the golden equivalence tests
+    and ``repro bench`` rely on that.
     """
     if target not in ("l1d", "l1i", "l2"):
         raise ValueError(f"unknown control target {target!r}")
@@ -171,6 +310,7 @@ def run_once(
             decay_writeback_event=(
                 "mem_access" if target == "l2" else "l2_writeback"
             ),
+            reference=reference,
         )
     kwargs = {target: controlled} if controlled is not None else {}
     hierarchy = MemoryHierarchy(machine, accountant, **kwargs)
@@ -179,15 +319,46 @@ def run_once(
 
         pipeline = FastPipeline(machine, hierarchy, accountant)
     else:
-        pipeline = Pipeline(machine, hierarchy, accountant)
+        pipeline = Pipeline(machine, hierarchy, accountant, reference=reference)
     if trace_ops is not None:
         stream = iter(trace_ops)
+        if warmup_ops > 0:
+            _functional_warmup(
+                hierarchy,
+                pipeline,
+                itertools.islice(stream, warmup_ops),
+                machine,
+            )
     else:
-        stream = TraceGenerator(benchmark, seed=seed).ops(warmup_ops + n_ops)
-    if warmup_ops > 0:
-        _functional_warmup(
-            hierarchy, pipeline, itertools.islice(stream, warmup_ops), machine
-        )
+        rng_mode = "reference" if reference else "flat"
+        ops = _trace_cached(benchmark, seed, warmup_ops + n_ops, rng_mode)
+        if warmup_ops > 0:
+            if reference:
+                # Reference mode always replays the warmup trace.
+                _functional_warmup(
+                    hierarchy,
+                    pipeline,
+                    itertools.islice(iter(ops), warmup_ops),
+                    machine,
+                )
+            else:
+                key = (benchmark, seed, warmup_ops, rng_mode, machine)
+                snap = _WARMUP_MEMO.get(key)
+                if snap is None:
+                    _functional_warmup(
+                        hierarchy,
+                        pipeline,
+                        itertools.islice(iter(ops), warmup_ops),
+                        machine,
+                    )
+                    if len(_WARMUP_MEMO) >= _WARMUP_MEMO_MAX:
+                        _WARMUP_MEMO.pop(next(iter(_WARMUP_MEMO)))
+                    _WARMUP_MEMO[key] = _snapshot_warm_state(
+                        hierarchy, pipeline
+                    )
+                else:
+                    _restore_warm_state(hierarchy, pipeline, snap)
+        stream = iter(ops[warmup_ops:])
     stats = pipeline.run(stream)
     return RunOutput(
         stats=stats,
@@ -323,7 +494,31 @@ def figure_point(
     )
 
 
+def clear_baseline_cache() -> None:
+    """Drop only the memoised baseline summaries.
+
+    The benchmark harness uses this between timed iterations: the baseline
+    simulation re-runs (it is part of the figure-point cost being measured)
+    while the analytic layers stay warm.
+    """
+    _baseline_cached.cache_clear()
+
+
 def clear_caches() -> None:
-    """Drop memoised baselines and leakage models (for tests)."""
+    """Drop every memoised analytic result (for tests and benchmarks).
+
+    Clears the baseline and leakage-model caches in this module plus the
+    analytic-layer memos underneath them: DC solves, k_design tables, and
+    residual fractions.
+    """
+    from repro.circuits.library import clear_residual_memo
+    from repro.circuits.solver import clear_solve_memo
+    from repro.leakage.kdesign import clear_kdesign_memo
+
     _baseline_cached.cache_clear()
     _leakage_model_cached.cache_clear()
+    _TRACE_MEMO.clear()
+    _WARMUP_MEMO.clear()
+    clear_solve_memo()
+    clear_kdesign_memo()
+    clear_residual_memo()

@@ -35,8 +35,21 @@ from repro.circuits.library import STANDARD_CELLS
 from repro.circuits.netlist import Netlist
 from repro.circuits.solver import LeakageSolver
 from repro.leakage.bsim3 import unit_leakage
-from repro.tech.constants import ROOM_TEMP_K
+from repro.tech.constants import ROOM_TEMP_K, quantise_temp
 from repro.tech.nodes import TechnologyNode, get_node
+
+# Memoised per-cell k_design tables keyed by (netlist fingerprint, node,
+# Vdd, quantised T).  The input-combination DC solves underneath are also
+# memoised (:mod:`repro.circuits.solver`); this table skips even the combo
+# enumeration when an identical derivation is requested again.  Keys
+# quantise the temperature to a 1 µK grid (see ``quantise_temp``).
+_KDESIGN_MEMO: dict[tuple, "KDesign"] = {}
+
+
+def clear_kdesign_memo() -> None:
+    """Drop every memoised k_design derivation (tests and benchmarks)."""
+    _KDESIGN_MEMO.clear()
+    kdesign_surface.cache_clear()
 
 
 @dataclass(frozen=True)
@@ -77,6 +90,18 @@ def derive_kdesign(
         raise ValueError(f"cell {netlist.name!r} declares no output node")
 
     vdd = node.vdd0 if vdd is None else vdd
+    memo_key = (
+        netlist.name,
+        tuple(netlist.transistors),
+        netlist.inputs,
+        netlist.output,
+        node,
+        vdd,
+        quantise_temp(temp_k),
+    )
+    cached = _KDESIGN_MEMO.get(memo_key)
+    if cached is not None:
+        return cached
     solver = LeakageSolver(node, vdd=vdd, temp_k=temp_k)
     n_nmos, n_pmos = netlist.count_devices()
 
@@ -97,7 +122,9 @@ def derive_kdesign(
     i_p = unit_leakage(node, vdd=vdd, temp_k=temp_k, pmos=True)
     kn = sum_in / (n_combos * n_nmos * i_n) if n_nmos else 0.0
     kp = sum_ip / (n_combos * n_pmos * i_p) if n_pmos else 0.0
-    return KDesign(cell=netlist.name, kn=kn, kp=kp, n_nmos=n_nmos, n_pmos=n_pmos)
+    result = KDesign(cell=netlist.name, kn=kn, kp=kp, n_nmos=n_nmos, n_pmos=n_pmos)
+    _KDESIGN_MEMO[memo_key] = result
+    return result
 
 
 @dataclass(frozen=True)

@@ -57,6 +57,7 @@ class AdaptiveControlledCache(ControlledCache):
         min_interval: int = 256,
         max_interval: int = 65536,
         decay_writeback_event: str = "l2_writeback",
+        reference: bool = False,
     ) -> None:
         if not 0.0 <= lo_rate < hi_rate:
             raise ValueError(f"need 0 <= lo_rate < hi_rate, got {lo_rate}, {hi_rate}")
@@ -67,6 +68,7 @@ class AdaptiveControlledCache(ControlledCache):
             policy=policy,
             accountant=accountant,
             decay_writeback_event=decay_writeback_event,
+            reference=reference,
         )
         self.window = window
         self.hi_rate = hi_rate

@@ -22,6 +22,7 @@ leakage by debiting ``sleep_cycles`` at deactivation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 
 from repro.cache.blocks import LineMode
 from repro.cache.cache import Cache, Victim
@@ -52,6 +53,11 @@ class AccessOutcome:
     fill_ready_cycle: int = 0
 
 
+# Shared result for the overwhelmingly common penalty-free hit (the
+# dataclass is frozen, so one instance serves every such access).
+_FAST_HIT = AccessOutcome(hit=True)
+
+
 @dataclass
 class StandbyStats:
     """Leakage-integration and event statistics for one run."""
@@ -73,7 +79,14 @@ class StandbyStats:
         """Average fraction of lines in standby over the run."""
         if self.total_cycles <= 0:
             return 0.0
-        return max(self.standby_line_cycles, 0.0) / (n_lines * self.total_cycles)
+        # Every wake happens at or after the line's settle deadline, so each
+        # closed standby episode contributes >= 0 to the integral; a negative
+        # total means the lazy accumulation went wrong, not a boundary case
+        # to clamp away.
+        assert self.standby_line_cycles >= 0, (
+            f"standby integral went negative: {self.standby_line_cycles}"
+        )
+        return self.standby_line_cycles / (n_lines * self.total_cycles)
 
 
 class ControlledCache:
@@ -89,6 +102,10 @@ class ControlledCache:
             written back at decay — ``"l2_writeback"`` for an L1 under
             control (the default), ``"mem_access"`` when the controlled
             cache is the L2 itself (its victims go to memory).
+        reference: Force the original full-array-scan decay machinery
+            instead of the expiry-heap fast path.  The two are
+            bit-identical; the slow path exists so equivalence tests can
+            prove that at runtime.
         bank_sets: Decay granularity in *sets* (paper Section 2.3: control
             "can be done at various granularities").  1 (default) is the
             per-row/per-line granularity of the paper; larger values gang
@@ -108,6 +125,7 @@ class ControlledCache:
         accountant: EnergyAccountant | None = None,
         decay_writeback_event: str = "l2_writeback",
         bank_sets: int = 1,
+        reference: bool = False,
     ) -> None:
         if decay_interval < 8:
             raise ValueError(f"decay interval too small: {decay_interval}")
@@ -139,6 +157,30 @@ class ControlledCache:
             self._tick_period = decay_interval
         self._next_tick = self._tick_period
         self.stats = StandbyStats()
+        # Lazy noaccess decay: instead of scanning every line at every
+        # global tick, each counter reset schedules the line's saturation
+        # tick (reset + 4 increments of the 2-bit counter) on an expiry
+        # heap.  Ticks are identified by their *processing order* — the
+        # number of ticks the advance() loop has handled — not by cycle,
+        # which makes the scheme exactly equivalent to the scan even when
+        # fills happen "in the past" (the L2 writeback path passes cycle 0)
+        # or when the adaptive controller rewrites the tick period.
+        # Stale heap entries (the line was touched again, or is already in
+        # standby) are detected against _line_expiry and skipped.
+        self._lazy = (
+            not reference
+            and policy is DecayPolicy.NOACCESS
+            and bank_sets == 1
+        )
+        self._tick_index = 0
+        self._line_expiry: list[list[int]] = [
+            [4] * g.assoc for _ in range(g.n_sets)
+        ]
+        self._expiry_heap: list[tuple[int, int, int]] = [
+            (4, set_idx, way)
+            for set_idx in range(g.n_sets)
+            for way in range(g.assoc)
+        ]
 
     # ------------------------------------------------------------------
     # Leakage integration
@@ -180,13 +222,45 @@ class ControlledCache:
         """Process all global-counter expiries up to ``cycle`` (lazy)."""
         while self._next_tick <= cycle:
             self._integrate(self._next_tick)
-            if self.policy is DecayPolicy.NOACCESS:
+            if self._lazy:
+                self._noaccess_tick_lazy(self._next_tick)
+            elif self.policy is DecayPolicy.NOACCESS:
                 self._noaccess_tick(self._next_tick)
             else:
                 self._simple_tick(self._next_tick)
             if self._occupancy_trace is not None:
                 self._occupancy_trace.append((self._next_tick, self._n_standby))
             self._next_tick += self._tick_period
+
+    def _schedule_expiry(self, set_idx: int, way: int) -> None:
+        """(Re)arm a line's decay after a counter reset (lazy path only)."""
+        expiry = self._tick_index + 4
+        self._line_expiry[set_idx][way] = expiry
+        heappush(self._expiry_heap, (expiry, set_idx, way))
+
+    def _noaccess_tick_lazy(self, cycle: int) -> None:
+        """One global tick under the expiry heap: O(expiries), not O(lines).
+
+        Pops lines whose 2-bit counter would have saturated by this tick.
+        The heap orders entries (tick, set, way), the same order the scan
+        visits them, so the two paths deactivate identically.
+        """
+        if self.accountant is not None:
+            self.accountant.add(
+                "decay_counter_tick", self.cache.geometry.n_lines
+            )
+        self._tick_index += 1
+        tick = self._tick_index
+        heap = self._expiry_heap
+        lines = self.cache.lines
+        expiry = self._line_expiry
+        while heap and heap[0][0] <= tick:
+            exp, set_idx, way = heappop(heap)
+            if expiry[set_idx][way] != exp:
+                continue  # superseded by a later counter reset
+            if lines[set_idx][way].mode is not LineMode.ACTIVE:
+                continue  # already in standby
+            self._deactivate(set_idx, way, cycle)
 
     def _noaccess_tick(self, cycle: int) -> None:
         n_lines = self.cache.geometry.n_lines
@@ -278,6 +352,8 @@ class ControlledCache:
         self._integrate(cycle)
         line.mode = LineMode.ACTIVE
         line.decay_counter = 0
+        if self._lazy:
+            self._schedule_expiry(set_idx, way)
         self._n_standby -= 1
         self.stats.wakeups += 1
         if self.accountant is not None:
@@ -296,13 +372,23 @@ class ControlledCache:
         """
         self.advance(cycle)
         self._integrate(cycle)
-        self.stats.accesses += 1
-        self.cache.stats.accesses += 1
-        set_idx, tag, way = self.cache.probe(addr)
+        stats = self.stats
+        cache = self.cache
+        cstats = cache.stats
+        stats.accesses += 1
+        cstats.accesses += 1
+        # Probe, inlined (per-op hot path of every controlled run).
+        line_addr = addr >> cache._offset_bits
+        set_idx = line_addr & cache._set_mask
+        tag = line_addr >> cache._index_bits
+        way = None
+        for w, line in enumerate(cache.lines[set_idx]):
+            if line.valid and line.tag == tag:
+                way = w
+                break
         tech = self.technique
 
         if way is not None:
-            line = self.cache.lines[set_idx][way]
             extra = 0
             if line.mode is not LineMode.ACTIVE:
                 # Wait out a settle in progress, then pay the wake penalty.
@@ -311,12 +397,20 @@ class ControlledCache:
                 extra += tech.slow_hit_cycles
                 self._wake(set_idx, way, cycle + extra)
                 self._wake_bank_of(set_idx, cycle + extra)
-                self.stats.slow_hits += 1
+                stats.slow_hits += 1
             else:
                 line.decay_counter = 0
-                self.stats.hits += 1
-            self.cache.stats.hits += 1
-            self.cache.touch(set_idx, way, is_write=is_write)
+                if self._lazy:
+                    self._schedule_expiry(set_idx, way)
+                stats.hits += 1
+            cstats.hits += 1
+            order = cache.lru[set_idx]
+            order.remove(way)
+            order.insert(0, way)
+            if is_write:
+                line.dirty = True
+            if extra == 0:
+                return _FAST_HIT
             return AccessOutcome(hit=True, extra_latency=extra)
 
         # Miss path.
@@ -407,6 +501,8 @@ class ControlledCache:
         line.valid = True
         line.dirty = is_write
         line.decay_counter = 0
+        if self._lazy:
+            self._schedule_expiry(set_idx, way)
         self.cache.touch(set_idx, way)
         return victim
 

@@ -38,6 +38,20 @@ def celsius_to_kelvin(temp_c: float) -> float:
     return temp_k
 
 
+def quantise_temp(temp_k: float) -> float:
+    """Snap a temperature to a 1 µK grid for use in memoisation keys.
+
+    The analytic leakage layers memoise solves keyed by temperature.  A
+    1 µK grid is far below any physically meaningful temperature step (the
+    paper's operating points differ by tens of kelvin; sweeps step by
+    millikelvin at the finest), so distinct sweep points never collide —
+    while float noise from unit conversions cannot defeat the memo.  The
+    *computation* always uses the exact temperature of the first call for
+    a given key; only the lookup key is quantised.
+    """
+    return round(temp_k * 1_000_000) / 1_000_000
+
+
 def kelvin_to_celsius(temp_k: float) -> float:
     """Convert a Kelvin temperature to Celsius."""
     return temp_k - 273.15

@@ -1,0 +1,243 @@
+"""Bit-exact fast random number generation for trace synthesis.
+
+The trace generator draws random values in a data-dependent order
+(addresses, branch outcomes, register picks interleave), so the stream
+cannot be batched *per draw site* without changing every downstream
+result.  What can be batched is the layer underneath: CPython's
+``random.Random`` consumes 32-bit MT19937 words strictly sequentially —
+``random()`` takes two words, ``getrandbits(k<=32)`` takes one — so any
+generator that reproduces the word stream and the consumption discipline
+is bit-identical to the stdlib for every downstream trace.
+
+Two such generators live here, selected by :func:`make_rng`:
+
+* :class:`FlatRandom` — keeps the stdlib's C Mersenne Twister state and
+  only replaces the one-argument ``randrange``, whose stdlib
+  ``randrange -> _randbelow -> getrandbits`` chain is pure Python and
+  dominates trace-generation time.  This is the default: measured
+  fastest, because ``random()`` stays a C call.
+* :class:`BlockRandom` — a full reimplementation that produces the
+  MT19937 words 624 at a time with a numpy-vectorised twist and consumes
+  them lazily.  The twist itself is ~50x faster than word-at-a-time
+  generation, but every *draw* pays Python-level consumption, which
+  benchmarks slower overall than :class:`FlatRandom` on CPython.  It is
+  kept selectable (``mode="block"``) as the numpy fallback-free check of
+  the word-stream contract and for interpreters without a C ``random``.
+
+Equivalence of all three modes is asserted by the test suite for mixed,
+data-dependent call sequences.
+"""
+
+from __future__ import annotations
+
+import random
+
+try:  # numpy is an optional accelerator, never a hard dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+_N = 624
+_M = 397
+_MATRIX_A = 0x9908B0DF
+_UPPER = 0x80000000
+_LOWER = 0x7FFFFFFF
+_INV53 = 1.0 / 9007199254740992.0  # 2**-53, as in genrand_res53
+
+
+class FlatRandom(random.Random):
+    """``random.Random`` with the pure-Python ``randrange`` chain
+    flattened into one rejection loop over C ``getrandbits`` calls.
+
+    Only the one-argument form is supported — it is the only form the
+    trace generator uses, and the draw sequence (``n.bit_length()``-bit
+    words, redrawn while >= n, words consumed even for n == 1) is
+    exactly the stdlib's ``_randbelow_with_getrandbits``.
+    """
+
+    def randrange(self, n: int) -> int:  # type: ignore[override]
+        if n <= 0:
+            raise ValueError("empty range for randrange()")
+        getrandbits = self.getrandbits
+        k = n.bit_length()
+        r = getrandbits(k)
+        while r >= n:
+            r = getrandbits(k)
+        return r
+
+
+class BlockRandom:
+    """Drop-in for ``random.Random(seed)`` limited to the methods the
+    trace generator uses: ``random``, ``getrandbits`` and one-argument
+    ``randrange``.  Streams are bit-identical to the stdlib for any
+    interleaving of those calls.
+    """
+
+    __slots__ = ("_mt", "_buf", "_pos")
+
+    def __init__(self, seed: int) -> None:
+        if _np is None:  # pragma: no cover - guarded by make_rng
+            raise RuntimeError("BlockRandom requires numpy")
+        if not isinstance(seed, int):
+            raise TypeError("BlockRandom only supports integer seeds")
+        # CPython seeds from the absolute value, split into 32-bit digits.
+        n = abs(seed)
+        key = []
+        while True:
+            key.append(n & 0xFFFFFFFF)
+            n >>= 32
+            if not n:
+                break
+        self._mt = self._seeded_state(key)
+        self._buf: list[int] = []
+        self._pos = 0
+        self._refill()
+
+    # ------------------------------------------------------------------
+    # Seeding (init_genrand + init_by_array, as in _randommodule.c)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _seeded_state(key: list[int]):
+        mt = [0] * _N
+        mt[0] = 19650218
+        for i in range(1, _N):
+            mt[i] = (1812433253 * (mt[i - 1] ^ (mt[i - 1] >> 30)) + i) & 0xFFFFFFFF
+        i, j = 1, 0
+        for _ in range(max(_N, len(key))):
+            mt[i] = (
+                (mt[i] ^ ((mt[i - 1] ^ (mt[i - 1] >> 30)) * 1664525)) + key[j] + j
+            ) & 0xFFFFFFFF
+            i += 1
+            j += 1
+            if i >= _N:
+                mt[0] = mt[_N - 1]
+                i = 1
+            if j >= len(key):
+                j = 0
+        for _ in range(_N - 1):
+            mt[i] = (
+                (mt[i] ^ ((mt[i - 1] ^ (mt[i - 1] >> 30)) * 1566083941)) - i
+            ) & 0xFFFFFFFF
+            i += 1
+            if i >= _N:
+                mt[0] = mt[_N - 1]
+                i = 1
+        mt[0] = 0x80000000
+        return _np.array(mt, dtype=_np.uint32)
+
+    # ------------------------------------------------------------------
+    # Vectorised twist: 624 tempered words per refill
+    # ------------------------------------------------------------------
+
+    def _refill(self) -> None:
+        mt = self._mt
+        new = _np.empty(_N, dtype=_np.uint32)
+        a = _np.uint32(_MATRIX_A)
+        # The recurrence new[i] = src[i] ^ twist(mt[i], mt[i+1]) reads
+        # src = mt[i+M] for i < N-M and src = new[i+M-N] after; splitting
+        # at N-M and again at 2(N-M) keeps every slice dependency-free.
+        y = (mt[0 : _N - 1] & _UPPER) | (mt[1:_N] & _LOWER)
+        mag = _np.where((y & 1).astype(bool), a, _np.uint32(0))
+        tw = (y >> 1) ^ mag
+        s = _N - _M  # 227: length of the dependency-free leading slice
+        new[0:s] = mt[_M:_N] ^ tw[0:s]
+        new[s : 2 * s] = new[0:s] ^ tw[s : 2 * s]
+        new[2 * s : _N - 1] = new[s : _N - 1 - s] ^ tw[2 * s : _N - 1]
+        y_last = (int(mt[_N - 1]) & _UPPER) | (int(new[0]) & _LOWER)
+        new[_N - 1] = (
+            int(new[_M - 1]) ^ (y_last >> 1) ^ (_MATRIX_A if y_last & 1 else 0)
+        )
+        self._mt = new
+        out = new.copy()
+        out ^= out >> 11
+        out ^= (out << 7) & _np.uint32(0x9D2C5680)
+        out ^= (out << 15) & _np.uint32(0xEFC60000)
+        out ^= out >> 18
+        self._buf = out.tolist()
+        self._pos = 0
+
+    def _word(self) -> int:
+        if self._pos >= _N:
+            self._refill()
+        w = self._buf[self._pos]
+        self._pos += 1
+        return w
+
+    # ------------------------------------------------------------------
+    # The stdlib-compatible surface
+    # ------------------------------------------------------------------
+
+    def random(self) -> float:
+        pos = self._pos
+        if pos < _N - 1:
+            buf = self._buf
+            a = buf[pos]
+            b = buf[pos + 1]
+            self._pos = pos + 2
+        else:
+            a = self._word()
+            b = self._word()
+        return ((a >> 5) * 67108864.0 + (b >> 6)) * _INV53
+
+    def getrandbits(self, k: int) -> int:
+        if k <= 0:
+            raise ValueError("number of bits must be greater than zero")
+        if k <= 32:
+            return self._word() >> (32 - k)
+        # Multi-word path, low words first (matches _randommodule.c).
+        result = 0
+        shift = 0
+        while k > 0:
+            take = min(k, 32)
+            result |= (self._word() >> (32 - take)) << shift
+            shift += 32
+            k -= 32
+        return result
+
+    def randrange(self, n: int) -> int:
+        """One-argument ``randrange``: ``_randbelow`` without the stdlib's
+        Python-level call chain.  Identical draw sequence (rejection
+        sampling over ``n.bit_length()``-bit words, including the n == 1
+        case, which still consumes words)."""
+        if n <= 0:
+            raise ValueError("empty range for randrange()")
+        k = n.bit_length()
+        if k > 32:
+            r = self.getrandbits(k)
+            while r >= n:
+                r = self.getrandbits(k)
+            return r
+        shift = 32 - k
+        buf = self._buf
+        pos = self._pos
+        while True:
+            if pos >= _N:
+                self._refill()
+                buf = self._buf
+                pos = 0
+            r = buf[pos] >> shift
+            pos += 1
+            if r < n:
+                self._pos = pos
+                return r
+
+
+def make_rng(seed: int, *, mode: str = "flat"):
+    """Build the trace generator's RNG.
+
+    Modes (all produce bit-identical streams):
+
+    * ``"flat"`` (default) — :class:`FlatRandom`, the measured-fastest.
+    * ``"block"`` — :class:`BlockRandom`, numpy-vectorised word blocks;
+      falls back to ``"flat"`` when numpy is unavailable.
+    * ``"reference"`` — the plain stdlib ``random.Random``, kept so
+      equivalence tests and `repro bench` can compare against it.
+    """
+    if mode == "reference":
+        return random.Random(seed)
+    if mode == "block" and _np is not None:
+        return BlockRandom(seed)
+    if mode in ("flat", "block"):
+        return FlatRandom(seed)
+    raise ValueError(f"unknown rng mode {mode!r}")

@@ -25,12 +25,12 @@ Everything is deterministic given (profile, seed).
 
 from __future__ import annotations
 
-import random
 import zlib
 from dataclasses import dataclass
 from typing import Iterator
 
 from repro.cpu.isa import MicroOp, OpClass
+from repro.workloads.fastrand import make_rng
 from repro.workloads.profiles import BenchmarkProfile, get_profile
 
 # Virtual-address region bases, far apart so regions never overlap.
@@ -73,13 +73,23 @@ class TraceGenerator:
     Args:
         profile: Benchmark characteristics (or its paper name).
         seed: RNG seed; traces are reproducible given (profile, seed).
+        rng_mode: RNG implementation (see :func:`repro.workloads.fastrand.
+            make_rng`); every mode yields bit-identical traces, so this
+            only selects a speed/verification trade-off.
     """
 
-    def __init__(self, profile: BenchmarkProfile | str, seed: int = 1) -> None:
+    def __init__(
+        self,
+        profile: BenchmarkProfile | str,
+        seed: int = 1,
+        *,
+        rng_mode: str = "flat",
+    ) -> None:
         self.profile = (
             get_profile(profile) if isinstance(profile, str) else profile
         )
         self.seed = seed
+        self.rng_mode = rng_mode
         self._skeleton = self._build_skeleton()
 
     # ------------------------------------------------------------------
@@ -88,7 +98,10 @@ class TraceGenerator:
 
     def _build_skeleton(self) -> list[_Slot]:
         p = self.profile
-        rng = random.Random((zlib.crc32(p.name.encode()) ^ (self.seed * 7919)) & 0x7FFFFFFF)
+        rng = make_rng(
+            (zlib.crc32(p.name.encode()) ^ (self.seed * 7919)) & 0x7FFFFFFF,
+            mode=self.rng_mode,
+        )
         ops_per_line = max(p.loop_ops // max(p.code_lines, 1), 1)
 
         m_load = p.load_frac
@@ -144,7 +157,15 @@ class TraceGenerator:
     def ops(self, n_ops: int) -> Iterator[MicroOp]:
         """Yield ``n_ops`` micro-ops walking the static loop."""
         p = self.profile
-        rng = random.Random((zlib.crc32(p.name.encode()) ^ self.seed) & 0x7FFFFFFF)
+        rng = make_rng(
+            (zlib.crc32(p.name.encode()) ^ self.seed) & 0x7FFFFFFF,
+            mode=self.rng_mode,
+        )
+        # Bound-method locals: these are called millions of times per
+        # campaign and the attribute lookups are measurable.
+        rnd = rng.random
+        rr = rng.randrange
+        gb = rng.getrandbits
         skeleton = self._skeleton
         loop = len(skeleton)
 
@@ -178,33 +199,36 @@ class TraceGenerator:
 
         def region_addr(region: str) -> int:
             size = sizes[region]
-            if rng.random() < _JUMP_PROB:
+            if rnd() < _JUMP_PROB:
                 pool = recent_lines[region]
                 aged = long_lines[region]
                 cap = pool_caps[region]
-                r = rng.random()
+                r = rnd()
                 if r < _REUSE_PROB:
-                    line = pool[rng.randrange(len(pool))]
+                    line = pool[rr(len(pool))]
                 elif r < _REUSE_PROB + _LONG_PROB:
-                    line = aged[rng.randrange(len(aged))]
+                    line = aged[rr(len(aged))]
                 else:
-                    line = rng.randrange(size >> 6)
+                    line = rr(size >> 6)
                     if len(aged) >= _LONG_LINES:
-                        aged[rng.randrange(_LONG_LINES)] = line
+                        aged[rr(_LONG_LINES)] = line
                     else:
                         aged.append(line)
                 if len(pool) >= cap:
-                    pool[rng.randrange(cap)] = line
+                    pool[rr(cap)] = line
                 else:
                     pool.append(line)
-                cursors[region] = (line << 6) | (rng.randrange(8) << 3)
+                r = gb(4)
+                while r >= 8:
+                    r = gb(4)
+                cursors[region] = (line << 6) | (r << 3)
             else:
                 cursors[region] = (cursors[region] + 8) % size
             return bases[region] + cursors[region]
 
         def data_addr() -> int:
             nonlocal stream_pos
-            r = rng.random()
+            r = rnd()
             if r < t_hot:
                 return region_addr("hot")
             if r < t_warm:
@@ -222,87 +246,143 @@ class TraceGenerator:
             are the accesses whose standby penalty is serial: 3 cycles per
             link for drowsy, a full L2 round trip per link for gated-Vss.
             """
-            region = "warm" if rng.random() < 0.7 else "cold"
+            region = "warm" if rnd() < 0.7 else "cold"
             aged = long_lines[region]
-            line = aged[rng.randrange(len(aged))]
-            return bases[region] + ((line << 6) | (rng.randrange(8) << 3))
+            line = aged[rr(len(aged))]
+            return bases[region] + ((line << 6) | (rr(8) << 3))
 
-        def pick_src() -> int:
-            if rng.random() < p.dep_near_frac:
-                return recent[rng.randrange(_RECENT_DESTS)]
-            return rng.randrange(30)  # avoid the chase register
+        # The register-pick helpers are inlined below: at millions of calls
+        # per campaign the closure frames alone are a measurable fraction
+        # of trace time.  Each inlined block is the standard randrange
+        # rejection loop — k = n.bit_length() bits, redraw while >= n — so
+        # the word stream matches the helper (and stdlib) draws exactly:
+        #   pick_src:  rnd() < dep_near ? recent[randrange(8)] : randrange(30)
+        #   pick_dest: dest = randrange(30); recent[randrange(8)] = dest
+        dep_near = p.dep_near_frac
+        load_chain = p.load_chain_frac
+        store_hot = p.store_hot_bias
+        cold_bytes = p.cold_bytes
+        LOAD = OpClass.LOAD
+        STORE = OpClass.STORE
+        BRANCH = OpClass.BRANCH
+        FPALU = OpClass.FPALU
+        FPMUL = OpClass.FPMUL
 
-        def pick_dest() -> int:
-            dest = rng.randrange(30)
-            recent[rng.randrange(_RECENT_DESTS)] = dest
-            return dest
-
-        for i in range(n_ops):
-            slot = skeleton[i % loop]
-            kind = slot.kind
-            pc = slot.pc
-            if kind is OpClass.LOAD:
-                if slot.is_chase:
-                    yield MicroOp(
-                        pc=pc,
-                        op=OpClass.LOAD,
-                        dest=_CHASE_REG,
-                        src1=_CHASE_REG,
-                        addr=COLD_BASE + (rng.randrange(p.cold_bytes) & ~7),
-                    )
+        # Flatten the skeleton to tuples once per stream: one indexed load
+        # and unpack per op instead of repeated attribute reads.
+        flat = [
+            (s.kind, s.pc, s.is_chase, s.branch_bias, s.branch_target)
+            for s in skeleton
+        ]
+        idx = 0
+        for _ in range(n_ops):
+            kind, pc, is_chase, branch_bias, branch_target = flat[idx]
+            idx += 1
+            if idx == loop:
+                idx = 0
+            if kind is LOAD:
+                if is_chase:
+                    yield MicroOp(pc, LOAD, _CHASE_REG, _CHASE_REG,
+                                  addr=COLD_BASE + (rr(cold_bytes) & ~7))
                 else:
-                    if last_load_dest >= 0 and rng.random() < p.load_chain_frac:
+                    if last_load_dest >= 0 and rnd() < load_chain:
                         src1 = last_load_dest  # address from the last load
                         addr = aged_addr()
                     else:
-                        src1 = pick_src()
+                        if rnd() < dep_near:  # pick_src
+                            r = gb(4)
+                            while r >= 8:
+                                r = gb(4)
+                            src1 = recent[r]
+                        else:
+                            src1 = gb(5)
+                            while src1 >= 30:
+                                src1 = gb(5)
                         addr = data_addr()
-                    dest = pick_dest()
+                    dest = gb(5)  # pick_dest
+                    while dest >= 30:
+                        dest = gb(5)
+                    r = gb(4)
+                    while r >= 8:
+                        r = gb(4)
+                    recent[r] = dest
                     last_load_dest = dest
-                    yield MicroOp(
-                        pc=pc,
-                        op=OpClass.LOAD,
-                        dest=dest,
-                        src1=src1,
-                        addr=addr,
-                    )
-            elif kind is OpClass.STORE:
-                if rng.random() < p.store_hot_bias:
+                    yield MicroOp(pc, LOAD, dest, src1, addr=addr)
+            elif kind is STORE:
+                if rnd() < store_hot:
                     store_addr = region_addr("hot")
                 else:
                     store_addr = data_addr()
-                yield MicroOp(
-                    pc=pc,
-                    op=OpClass.STORE,
-                    src1=pick_src(),
-                    src2=pick_src(),
-                    addr=store_addr,
-                )
-            elif kind is OpClass.BRANCH:
-                taken = rng.random() < slot.branch_bias
-                yield MicroOp(
-                    pc=pc,
-                    op=OpClass.BRANCH,
-                    src1=pick_src(),
-                    taken=taken,
-                    target=slot.branch_target,
-                )
-            elif kind in (OpClass.FPALU, OpClass.FPMUL):
-                yield MicroOp(
-                    pc=pc,
-                    op=kind,
-                    dest=32 + rng.randrange(30),
-                    src1=32 + rng.randrange(30),
-                    src2=32 + rng.randrange(30),
-                )
+                if rnd() < dep_near:  # pick_src
+                    r = gb(4)
+                    while r >= 8:
+                        r = gb(4)
+                    src1 = recent[r]
+                else:
+                    src1 = gb(5)
+                    while src1 >= 30:
+                        src1 = gb(5)
+                if rnd() < dep_near:  # pick_src
+                    r = gb(4)
+                    while r >= 8:
+                        r = gb(4)
+                    src2 = recent[r]
+                else:
+                    src2 = gb(5)
+                    while src2 >= 30:
+                        src2 = gb(5)
+                yield MicroOp(pc, STORE, -1, src1, src2, store_addr)
+            elif kind is BRANCH:
+                taken = rnd() < branch_bias
+                if rnd() < dep_near:  # pick_src
+                    r = gb(4)
+                    while r >= 8:
+                        r = gb(4)
+                    src1 = recent[r]
+                else:
+                    src1 = gb(5)
+                    while src1 >= 30:
+                        src1 = gb(5)
+                yield MicroOp(pc, BRANCH, -1, src1, taken=taken,
+                              target=branch_target)
+            elif kind is FPALU or kind is FPMUL:
+                dest = gb(5)
+                while dest >= 30:
+                    dest = gb(5)
+                src1 = gb(5)
+                while src1 >= 30:
+                    src1 = gb(5)
+                src2 = gb(5)
+                while src2 >= 30:
+                    src2 = gb(5)
+                yield MicroOp(pc, kind, 32 + dest, 32 + src1, 32 + src2)
             else:  # IALU / IMUL / IDIV
-                yield MicroOp(
-                    pc=pc,
-                    op=kind,
-                    dest=pick_dest(),
-                    src1=pick_src(),
-                    src2=pick_src(),
-                )
+                dest = gb(5)  # pick_dest
+                while dest >= 30:
+                    dest = gb(5)
+                r = gb(4)
+                while r >= 8:
+                    r = gb(4)
+                recent[r] = dest
+                if rnd() < dep_near:  # pick_src
+                    r = gb(4)
+                    while r >= 8:
+                        r = gb(4)
+                    src1 = recent[r]
+                else:
+                    src1 = gb(5)
+                    while src1 >= 30:
+                        src1 = gb(5)
+                if rnd() < dep_near:  # pick_src
+                    r = gb(4)
+                    while r >= 8:
+                        r = gb(4)
+                    src2 = recent[r]
+                else:
+                    src2 = gb(5)
+                    while src2 >= 30:
+                        src2 = gb(5)
+                yield MicroOp(pc, kind, dest, src1, src2)
 
 
 def trace(benchmark: str, n_ops: int, *, seed: int = 1) -> Iterator[MicroOp]:

@@ -1,0 +1,185 @@
+"""Golden equivalence: the optimised fast paths vs the reference slow paths.
+
+The perf work (event-driven pipeline skip, lazy expiry-heap decay, warm-state
+restore, flattened RNG) must be invisible in the results: every statistic,
+counter and energy total has to come out bit-identical.  ``reference=True``
+(on :func:`repro.experiments.runner.run_once` and
+:class:`repro.leakctl.controlled.ControlledCache`) keeps the original
+slow-path semantics alive precisely so these tests can prove that claim at
+runtime rather than by inspection.
+
+Also pins the exec-store content hashes: the PR-1 result store keys cached
+figure points by ``RunSpec.content_hash()`` salted with ``CODE_VERSION``;
+because results are bit-identical, the salt must not change and previously
+cached campaigns stay warm.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cpu.config import MachineConfig
+from repro.exec import CODE_VERSION, RunSpec
+from repro.experiments.runner import run_once, technique_by_name
+from repro.leakage.structures import CacheGeometry
+from repro.leakctl.base import DecayPolicy
+from repro.leakctl.controlled import ControlledCache
+from repro.power.wattch import EnergyAccountant, default_power_config
+
+N_OPS = 4_000
+WARMUP_OPS = 3_000
+
+
+def _run(reference: bool, *, technique, policy, seed, adaptive=False):
+    return run_once(
+        "mcf",
+        technique=technique_by_name(technique) if technique else None,
+        machine=MachineConfig().with_l2_latency(17),
+        policy=policy,
+        adaptive=adaptive,
+        n_ops=N_OPS,
+        warmup_ops=WARMUP_OPS,
+        seed=seed,
+        reference=reference,
+    )
+
+
+def _assert_identical(fast, slow):
+    assert fast.stats == slow.stats
+    assert fast.accountant.counts == slow.accountant.counts
+    assert fast.accountant.cycles == slow.accountant.cycles
+    assert fast.accountant.issued_total == slow.accountant.issued_total
+    # repr round-trips the exact float: bit-identical, not just close.
+    assert repr(fast.accountant.total_energy()) == repr(
+        slow.accountant.total_energy()
+    )
+    assert repr(fast.accountant.clock_energy()) == repr(
+        slow.accountant.clock_energy()
+    )
+    assert fast.standby == slow.standby
+
+
+class TestFullRunMatrix:
+    """run_once through both paths: pipeline + hierarchy + decay + RNG."""
+
+    @pytest.mark.parametrize("technique", ["gated-vss", "drowsy", "rbb"])
+    @pytest.mark.parametrize(
+        "policy", [DecayPolicy.NOACCESS, DecayPolicy.SIMPLE]
+    )
+    def test_techniques_and_policies(self, technique, policy):
+        fast = _run(False, technique=technique, policy=policy, seed=1)
+        slow = _run(True, technique=technique, policy=policy, seed=1)
+        _assert_identical(fast, slow)
+
+    @pytest.mark.parametrize("seed", [2, 3])
+    def test_seeds(self, seed):
+        fast = _run(
+            False, technique="gated-vss", policy=DecayPolicy.NOACCESS, seed=seed
+        )
+        slow = _run(
+            True, technique="gated-vss", policy=DecayPolicy.NOACCESS, seed=seed
+        )
+        _assert_identical(fast, slow)
+
+    def test_baseline(self):
+        fast = _run(False, technique=None, policy=DecayPolicy.NOACCESS, seed=1)
+        slow = _run(True, technique=None, policy=DecayPolicy.NOACCESS, seed=1)
+        _assert_identical(fast, slow)
+
+    def test_adaptive(self):
+        fast = _run(
+            False,
+            technique="drowsy",
+            policy=DecayPolicy.NOACCESS,
+            seed=1,
+            adaptive=True,
+        )
+        slow = _run(
+            True,
+            technique="drowsy",
+            policy=DecayPolicy.NOACCESS,
+            seed=1,
+            adaptive=True,
+        )
+        _assert_identical(fast, slow)
+
+
+TINY = CacheGeometry(size_bytes=8 * 64 * 2, assoc=2, line_bytes=64)  # 8 sets
+
+
+def _drive(ctl: ControlledCache, seed: int) -> None:
+    """Deterministic access/decay workout shared by both instances."""
+    rng = random.Random(seed)
+    cycle = 0
+    for _ in range(600):
+        cycle += rng.randrange(1, 400)
+        a = ctl.cache.line_addr_of(rng.randrange(8), rng.randrange(3))
+        is_write = rng.random() < 0.3
+        out = ctl.access(a, is_write=is_write, cycle=cycle)
+        if not out.hit:
+            ctl.fill(a, is_write=is_write, cycle=cycle)
+    ctl.finalize(cycle + 5_000)
+
+
+def _line_states(ctl: ControlledCache):
+    return [
+        [(l.tag, l.valid, l.dirty, l.mode, l.mode_ready_cycle) for l in ways]
+        for ways in ctl.cache.lines
+    ]
+
+
+class TestControlledCacheMatrix:
+    """Decay machinery alone, including the bank granularities run_once
+    does not reach (lazy decay only engages at bank_sets=1; the matrix
+    proves the flag changes nothing there and is a no-op elsewhere)."""
+
+    @pytest.mark.parametrize("technique", ["gated-vss", "drowsy"])
+    @pytest.mark.parametrize(
+        "policy", [DecayPolicy.NOACCESS, DecayPolicy.SIMPLE]
+    )
+    @pytest.mark.parametrize("bank_sets", [1, 4])
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_matrix(self, technique, policy, bank_sets, seed):
+        instances = []
+        for reference in (False, True):
+            ctl = ControlledCache(
+                Cache("l1d", TINY),
+                technique_by_name(technique),
+                decay_interval=1024,
+                policy=policy,
+                accountant=EnergyAccountant(config=default_power_config()),
+                bank_sets=bank_sets,
+                reference=reference,
+            )
+            _drive(ctl, seed)
+            instances.append(ctl)
+        fast, slow = instances
+        assert fast.stats == slow.stats
+        assert fast.cache.stats == slow.cache.stats
+        assert fast.accountant.counts == slow.accountant.counts
+        assert repr(fast.accountant.total_energy()) == repr(
+            slow.accountant.total_energy()
+        )
+        assert _line_states(fast) == _line_states(slow)
+
+
+class TestExecStoreHashStability:
+    """Bit-identical results mean the PR-1 store must stay warm: the salt
+    and the spec hashes must match what the pre-optimisation tree produced
+    (values below were recorded on commit efdb12c)."""
+
+    def test_code_version_unchanged(self):
+        assert CODE_VERSION == "1"
+
+    def test_figure_point_hashes_unchanged(self):
+        spec = RunSpec(benchmark="mcf", technique="gated-vss", l2_latency=17)
+        assert spec.content_hash() == (
+            "a5b2b6b85913c276a2e18d1b66aa2e4ea324da000e12f0f562c636ac890092d4"
+        )
+        spec = RunSpec(benchmark="gcc", technique="drowsy")
+        assert spec.content_hash() == (
+            "8a50ebc2b76372a3373d436ce7bfb9bd68b24e6ca062ced63b7d2e7c0b533949"
+        )
