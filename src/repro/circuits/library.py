@@ -26,6 +26,7 @@ from scipy.optimize import brentq
 
 from repro.circuits.netlist import GND_NODE, VDD_NODE, Netlist, Transistor
 from repro.leakage.bsim3 import DeviceParams, device_subthreshold_current
+from repro.memo import LRUMemo
 from repro.tech.constants import ROOM_TEMP_K, quantise_temp
 from repro.tech.nodes import TechnologyNode
 
@@ -33,8 +34,9 @@ from repro.tech.nodes import TechnologyNode
 # frozen TechnologyNode and a handful of floats; the gated one runs a
 # brentq root-find per call.  Keys quantise the temperature to a 1 µK
 # grid (see ``quantise_temp``) — the computation itself always uses the
-# exact temperature of the first call for a given key.
-_RESIDUAL_MEMO: dict[tuple, float] = {}
+# exact temperature of the first call for a given key.  LRU bound: a
+# full sweep touches (technique x node x Vdd x T) ~ dozens of keys.
+_RESIDUAL_MEMO = LRUMemo(maxsize=512)
 
 
 def clear_residual_memo() -> None:

@@ -26,7 +26,9 @@ from dataclasses import dataclass
 
 from scipy.optimize import brentq
 
+from repro import obs as _obs
 from repro.circuits.netlist import GND_NODE, VDD_NODE, Netlist, Transistor
+from repro.memo import LRUMemo
 from repro.tech.constants import ROOM_TEMP_K, quantise_temp, thermal_voltage
 from repro.tech.nodes import TechnologyNode
 
@@ -38,8 +40,11 @@ _EXP_CAP = 60.0  # cap softplus arguments to avoid overflow
 # analytic step, so sweeps that revisit an operating point (k_design surface
 # fits, residual-fraction tables, repeated figure points) skip it entirely.
 # Keys quantise the temperature to a 1 µK grid (see ``quantise_temp``); the
-# stored :class:`DCResult` is treated as immutable by every caller.
-_SOLVE_MEMO: dict[tuple, "DCResult"] = {}
+# stored :class:`DCResult` is treated as immutable by every caller.  The
+# cap covers every operating point of a full figure sweep (a few hundred
+# distinct keys) with an order of magnitude to spare; an eviction only
+# costs a deterministic recompute.
+_SOLVE_MEMO = LRUMemo(maxsize=4096)
 
 
 def clear_solve_memo() -> None:
@@ -179,7 +184,9 @@ class LeakageSolver:
         )
         cached = _SOLVE_MEMO.get(memo_key)
         if cached is not None:
+            _obs.incr("solver.memo_hits")
             return cached
+        _obs.incr("solver.memo_misses")
 
         fixed: dict[str, float] = {VDD_NODE: self.vdd, GND_NODE: 0.0}
         for name, value in input_values.items():
@@ -200,7 +207,8 @@ class LeakageSolver:
         solved = dict(fixed)
         for name in unknowns:
             solved[name] = self.vdd / 2.0
-        residual_norm = self._relax(netlist, solved, unknowns)
+        with _obs.span("solver.relax"):
+            residual_norm = self._relax(netlist, solved, unknowns)
 
         net = node_currents(solved)
         # Current out of VDD = -(net current into vdd node).

@@ -67,13 +67,46 @@ def _make_scheduler(args):
         except NotADirectoryError as exc:
             print(f"error: {exc}", file=sys.stderr)
             raise SystemExit(2) from None
-    return Scheduler(max_workers=args.jobs, store=store)
+    return Scheduler(
+        max_workers=args.jobs,
+        store=store,
+        timeout_s=getattr(args, "timeout", None),
+    )
 
 
 def _positive_int(text: str) -> int:
-    value = int(text)
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
     if value < 1:
-        raise argparse.ArgumentTypeError("must be >= 1")
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {text!r}"
+        ) from None
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value:g}")
     return value
 
 
@@ -85,6 +118,10 @@ def _add_exec_flags(parser) -> None:
     parser.add_argument(
         "--cache",
         help="persistent result-store directory (skips already-run points)",
+    )
+    parser.add_argument(
+        "--timeout", type=_positive_float, default=None,
+        help="per-job timeout budget in seconds (stragglers re-run serially)",
     )
 
 
@@ -341,9 +378,38 @@ def _cmd_reproduce(args) -> int:
         progress=print,
         jobs=args.jobs,
         cache_dir=args.cache,
+        timeout_s=args.timeout,
+        observe=not args.no_obs,
     )
     print()
     print(result.summary())
+    if not args.no_obs:
+        print(f"event log: {args.out}/events.jsonl "
+              f"(browse with 'repro-paper trace {args.out}')")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.views import load_campaign_events, render_trace
+
+    try:
+        events = load_campaign_events(args.campaign)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_trace(events, limit=args.limit or None, phase=args.phase))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs.views import aggregate, load_campaign_events, render_stats
+
+    try:
+        events = load_campaign_events(args.campaign)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_stats(aggregate(events)))
     return 0
 
 
@@ -410,8 +476,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--benchmarks",
         help="comma-separated benchmark subset (default: all 11)",
     )
+    rep.add_argument(
+        "--no-obs", action="store_true",
+        help="skip the <out>/events.jsonl observability event log",
+    )
     _add_exec_flags(rep)
     rep.set_defaults(func=_cmd_reproduce)
+
+    trace = sub.add_parser(
+        "trace", help="browse a campaign's observability event log"
+    )
+    trace.add_argument(
+        "campaign",
+        help="campaign output directory (or an events.jsonl path directly)",
+    )
+    trace.add_argument(
+        "--limit", type=_nonneg_int, default=40,
+        help="show at most N events (most recent; default 40, 0 = all)",
+    )
+    trace.add_argument(
+        "--phase", default=None,
+        help="only events from one campaign phase",
+    )
+    trace.set_defaults(func=_cmd_trace)
+
+    stats = sub.add_parser(
+        "stats", help="aggregate statistics from a campaign's event log"
+    )
+    stats.add_argument(
+        "campaign",
+        help="campaign output directory (or an events.jsonl path directly)",
+    )
+    stats.set_defaults(func=_cmd_stats)
 
     bench = sub.add_parser(
         "bench", help="time the simulation hot path and write BENCH.json"

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 if TYPE_CHECKING:  # avoid a circular import with repro.cache.hierarchy
     from repro.cache.hierarchy import MemoryHierarchy
 
+from repro import obs as _obs
 from repro.cpu.branch import BranchTargetBuffer, HybridPredictor
 from repro.cpu.config import MachineConfig
 from repro.cpu.isa import MicroOp, OpClass
@@ -224,6 +225,7 @@ class Pipeline:
         # Cycle/issue totals batch into locals and flush once at the end:
         # add_cycle only increments two integers, so the batch is exact.
         cycles_acct = 0
+        skipped_acct = 0
         issued_acct = 0
         # Event counts go straight into the accountant's Counter.  Inline
         # increments skip the add() call overhead (millions of calls per
@@ -470,10 +472,16 @@ class Pipeline:
                 continue
             if next_event > cycle:
                 cycles_acct += next_event - cycle
+                skipped_acct += next_event - cycle
                 cycle = next_event
 
         self.accountant.cycles += cycles_acct
         self.accountant.issued_total += issued_acct
+        if _obs.is_enabled():
+            _obs.incr("pipeline.runs")
+            _obs.incr("pipeline.cycles", cycle)
+            _obs.incr("pipeline.skipped_cycles", skipped_acct)
+            _obs.incr("pipeline.committed", committed_total)
         stats.committed += committed_total
         stats.issued += issued_total
         stats.fetched += fetched_total

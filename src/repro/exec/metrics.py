@@ -24,6 +24,7 @@ class ExecutionMetrics:
         self.jobs_executed = 0
         self.cache_hits = 0
         self.retries = 0
+        self.timeouts = 0
         self.failures = 0
         self.execution_wall_s = 0.0
         self.phase_wall_s: dict[str, float] = {}
@@ -97,6 +98,7 @@ class ExecutionMetrics:
             "cache_hits": self.cache_hits,
             "hit_rate": self.hit_rate,
             "retries": self.retries,
+            "timeouts": self.timeouts,
             "failures": self.failures,
             "execution_wall_s": self.execution_wall_s,
             "throughput_runs_per_s": self.throughput_runs_per_s,

@@ -1,7 +1,7 @@
 """Batch scheduler: execute RunSpecs on a process pool, through the store.
 
 The scheduler turns a list of :class:`~repro.exec.spec.RunSpec` jobs into
-results, in order, with four behaviours layered on top of plain execution:
+results, in order, with five behaviours layered on top of plain execution:
 
 1. **Store first** — every spec is looked up in the (optional)
    :class:`~repro.exec.store.ResultStore`; only misses are executed, and
@@ -12,21 +12,39 @@ results, in order, with four behaviours layered on top of plain execution:
    configurable worker count and an optional per-job timeout.  Runs are
    seed-deterministic, so parallel results are bit-identical to serial.
 4. **Resilience** — a pool that cannot start (sandboxed /dev/shm, missing
-   semaphores) degrades to serial execution; jobs whose worker died or
-   timed out are retried serially, a bounded number of times, before the
-   batch fails.
+   semaphores) degrades to serial execution.  Jobs whose worker raised
+   are retried serially, a bounded number of times, before the batch
+   fails.  Jobs the pool *abandoned* at the batch timeout never produced
+   a result anywhere, so they get one serial first-execution pass that is
+   accounted as a timeout, not a retry — the same job is never counted
+   in both buckets.  The abandoned pool is shut down with
+   ``cancel_futures=True`` so queued work never runs behind our back.
+5. **Observability** — with :mod:`repro.obs` enabled, every run start /
+   finish / failure / retry / cache hit lands in the campaign event log
+   (with worker pid, wall/CPU time and peak RSS measured in the worker),
+   and the pool wait loop emits periodic heartbeats naming straggler
+   jobs.  Disabled (the default), none of this code runs.
 """
 
 from __future__ import annotations
 
+import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Sequence
 
+from repro import obs as _obs
 from repro.exec.metrics import ExecutionMetrics
 from repro.exec.spec import RunSpec
 from repro.exec.store import ResultStore
 from repro.leakctl.energy import NetSavingsResult
+
+try:  # POSIX only; telemetry degrades gracefully without it
+    import resource as _resource
+except ImportError:  # pragma: no cover
+    _resource = None
+
+DEFAULT_HEARTBEAT_S = 30.0
 
 
 class SchedulerError(RuntimeError):
@@ -38,6 +56,30 @@ def execute_spec(spec: RunSpec) -> NetSavingsResult:
     return spec.execute()
 
 
+def execute_spec_observed(spec: RunSpec) -> tuple[NetSavingsResult, dict]:
+    """Pool entry point with telemetry: ``(result, meta)``.
+
+    ``meta`` carries the worker pid, wall and CPU seconds, and the
+    worker's peak RSS in kB — measured *in the worker* and shipped back
+    with the result, so the coordinating process can log it without any
+    cross-process event plumbing.  The execution itself is untouched.
+    """
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    result = spec.execute()
+    meta = {
+        "worker": os.getpid(),
+        "wall_s": time.perf_counter() - wall0,
+        "cpu_s": time.process_time() - cpu0,
+        "max_rss_kb": (
+            float(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+            if _resource is not None
+            else 0.0
+        ),
+    }
+    return result, meta
+
+
 class Scheduler:
     """Executes batches of RunSpecs; serial by default, parallel on demand.
 
@@ -46,13 +88,17 @@ class Scheduler:
             batch runs in-process, which is also the fallback path.
         store: Optional persistent result store consulted before and
             updated after every execution.
-        timeout_s: Per-job budget; a batch whose stragglers exceed the
-            aggregate budget (``timeout_s * jobs``) abandons the pool and
-            retries the stragglers serially.
-        retries: How many serial retry rounds a failed job gets.
+        timeout_s: Per-job budget; must be positive.  A batch whose
+            stragglers exceed the aggregate budget (``timeout_s * jobs``)
+            abandons the pool (cancelling everything still queued) and
+            runs the abandoned jobs serially.
+        retries: How many serial retry rounds a *failed* job gets.
         metrics: Optional campaign-wide metrics aggregator.
         progress: Default progress callback for :meth:`run` (a per-call
             callback overrides it).
+        heartbeat_s: Interval of the straggler heartbeat emitted to the
+            observability event log while the pool is draining; must be
+            positive.  Irrelevant while :mod:`repro.obs` is disabled.
     """
 
     def __init__(
@@ -64,17 +110,23 @@ class Scheduler:
         retries: int = 2,
         metrics: ExecutionMetrics | None = None,
         progress: Callable[[str], None] | None = None,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if timeout_s is not None and not timeout_s > 0:
+            raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+        if not heartbeat_s > 0:
+            raise ValueError(f"heartbeat_s must be positive, got {heartbeat_s}")
         self.max_workers = max_workers
         self.store = store
         self.timeout_s = timeout_s
         self.retries = retries
         self.metrics = metrics
         self.progress = progress
+        self.heartbeat_s = heartbeat_s
 
     # ------------------------------------------------------------------
     # Public API
@@ -95,6 +147,7 @@ class Scheduler:
         if progress is None:
             progress = self.progress
         note = progress if progress is not None else (lambda _msg: None)
+        observed = _obs.is_enabled()
 
         # Store lookups + in-batch dedup: map each unique missing hash to
         # every slot that wants it.
@@ -109,18 +162,23 @@ class Scheduler:
             if cached is not None:
                 results[i] = cached
                 cache_hits += 1
+                if observed:
+                    _obs.emit("cache_hit", spec=key, slot=i, source="store")
             else:
                 pending[key] = [i]
 
         todo = [slots[0] for slots in pending.values()]
         executed = 0
         if todo:
-            self._execute_pending(specs, todo, results, note)
+            with _obs.span("scheduler.execute"):
+                self._execute_pending(specs, todo, results, note)
             executed = len(todo)
-        for slots in pending.values():
+        for key, slots in pending.items():
             for i in slots[1:]:
                 results[i] = results[slots[0]]
                 cache_hits += 1
+                if observed:
+                    _obs.emit("cache_hit", spec=key, slot=i, source="batch")
 
         wall = time.perf_counter() - start
         if self.metrics is not None:
@@ -152,9 +210,29 @@ class Scheduler:
     ) -> None:
         """Run every slot in ``todo``, with serial retries on failure."""
         if self.max_workers > 1 and len(todo) > 1:
-            failed = self._run_pool(specs, todo, results, note)
+            failed, abandoned = self._run_pool(specs, todo, results, note)
         else:
             failed = self._run_serial(specs, todo, results, note)
+            abandoned = []
+        if abandoned:
+            # Abandoned jobs never produced a result anywhere (their
+            # futures were cancelled or their workers outlived the
+            # budget), so this serial pass is their *first* execution —
+            # accounted as timeouts, not retries, or the same job would
+            # be double-counted across the retry rounds below.
+            if self.metrics is not None:
+                self.metrics.timeouts += len(abandoned)
+            note(f"re-running {len(abandoned)} abandoned job(s) serially")
+            if _obs.is_enabled():
+                for i in abandoned:
+                    _obs.emit(
+                        "run_retried",
+                        spec=specs[i].content_hash(),
+                        slot=i,
+                        attempt=0,
+                        reason="pool timeout",
+                    )
+            failed.extend(self._run_serial(specs, abandoned, results, note))
         for attempt in range(self.retries):
             if not failed:
                 break
@@ -164,6 +242,15 @@ class Scheduler:
                 f"retrying {len(failed)} failed job(s) serially "
                 f"(attempt {attempt + 1}/{self.retries})"
             )
+            if _obs.is_enabled():
+                for i, exc in failed:
+                    _obs.emit(
+                        "run_retried",
+                        spec=specs[i].content_hash(),
+                        slot=i,
+                        attempt=attempt + 1,
+                        reason=repr(exc),
+                    )
             failed = self._run_serial(
                 specs, [i for i, _exc in failed], results, note
             )
@@ -183,14 +270,25 @@ class Scheduler:
         results: list,
         note: Callable[[str], None],
     ) -> list[tuple[int, BaseException]]:
+        observed = _obs.is_enabled()
         failed: list[tuple[int, BaseException]] = []
         step = max(1, len(todo) // 8)
         for n, i in enumerate(todo, start=1):
+            key = specs[i].content_hash() if observed else None
+            if observed:
+                _obs.emit("run_started", spec=key, slot=i, pool=False)
             try:
-                result = execute_spec(specs[i])
+                if observed:
+                    result, meta = execute_spec_observed(specs[i])
+                else:
+                    result = execute_spec(specs[i])
             except Exception as exc:
                 failed.append((i, exc))
+                if observed:
+                    _obs.emit("run_failed", spec=key, slot=i, error=repr(exc))
                 continue
+            if observed:
+                _obs.emit("run_finished", spec=key, slot=i, **meta)
             self._commit(specs[i], result, results, i)
             if len(todo) > 1 and (n % step == 0 or n == len(todo)):
                 note(f"  jobs {n}/{len(todo)} done")
@@ -202,49 +300,118 @@ class Scheduler:
         todo: list[int],
         results: list,
         note: Callable[[str], None],
-    ) -> list[tuple[int, BaseException]]:
+    ) -> tuple[list[tuple[int, BaseException]], list[int]]:
+        """Pool execution; returns ``(failed, abandoned_slots)``."""
         try:
             executor = ProcessPoolExecutor(max_workers=self.max_workers)
         except (OSError, ValueError, ImportError) as exc:
             note(f"process pool unavailable ({exc!r}); running serially")
-            return self._run_serial(specs, todo, results, note)
+            return self._run_serial(specs, todo, results, note), []
+        observed = _obs.is_enabled()
+        entry = execute_spec_observed if observed else execute_spec
         failed: list[tuple[int, BaseException]] = []
-        done = 0
+        abandoned: list[int] = []
+        done_count = 0
         step = max(1, len(todo) // 8)
+        start = time.monotonic()
         budget = None if self.timeout_s is None else self.timeout_s * len(todo)
+        deadline = None if budget is None else start + budget
         wait_at_shutdown = True
         try:
             futures = {
-                executor.submit(execute_spec, specs[i]): i for i in todo
+                executor.submit(entry, specs[i]): i for i in todo
             }
-            try:
-                for future in as_completed(futures, timeout=budget):
+            if observed:
+                for i in todo:
+                    _obs.emit(
+                        "run_started",
+                        spec=specs[i].content_hash(),
+                        slot=i,
+                        pool=True,
+                    )
+            pending = set(futures)
+            last_progress = start
+            while pending:
+                timeout = self.heartbeat_s if observed else None
+                if deadline is not None:
+                    remaining = max(deadline - time.monotonic(), 0.0)
+                    timeout = (
+                        remaining if timeout is None
+                        else min(timeout, remaining)
+                    )
+                finished, pending = wait(
+                    pending, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
                     i = futures.pop(future)
                     try:
-                        result = future.result()
+                        value = future.result()
                     except Exception as exc:
                         failed.append((i, exc))
+                        if observed:
+                            _obs.emit(
+                                "run_failed",
+                                spec=specs[i].content_hash(),
+                                slot=i,
+                                error=repr(exc),
+                            )
                         continue
+                    if observed:
+                        result, meta = value
+                        _obs.emit(
+                            "run_finished",
+                            spec=specs[i].content_hash(),
+                            slot=i,
+                            **meta,
+                        )
+                    else:
+                        result = value
                     self._commit(specs[i], result, results, i)
-                    done += 1
-                    if done % step == 0 or done == len(todo):
-                        note(f"  jobs {done}/{len(todo)} done")
-            except TimeoutError as exc:
-                # Stragglers blew the batch budget: abandon the pool
-                # (don't wait on possibly-wedged workers) and let the
-                # serial retry path recompute what's outstanding.
-                note(
-                    f"pool budget of {budget:.0f} s exhausted with "
-                    f"{len(futures)} job(s) outstanding; retrying serially"
-                )
-                failed.extend((i, exc) for i in futures.values())
-                wait_at_shutdown = False
+                    done_count += 1
+                    if done_count % step == 0 or done_count == len(todo):
+                        note(f"  jobs {done_count}/{len(todo)} done")
+                now = time.monotonic()
+                if finished:
+                    last_progress = now
+                if pending and deadline is not None and now >= deadline:
+                    # Stragglers blew the batch budget: abandon the pool
+                    # (cancelling everything still queued, not waiting on
+                    # possibly-wedged workers) and hand the outstanding
+                    # slots back for one serial pass.
+                    abandoned = sorted(futures[f] for f in pending)
+                    note(
+                        f"pool budget of {budget:.0f} s exhausted with "
+                        f"{len(abandoned)} job(s) outstanding; "
+                        f"re-running serially"
+                    )
+                    if observed:
+                        for i in abandoned:
+                            _obs.emit(
+                                "run_timeout",
+                                spec=specs[i].content_hash(),
+                                slot=i,
+                                budget_s=budget,
+                            )
+                    wait_at_shutdown = False
+                    break
+                if pending and not finished and observed:
+                    # Nothing completed for a whole heartbeat interval:
+                    # surface the stragglers.
+                    _obs.emit(
+                        "heartbeat",
+                        outstanding=[
+                            specs[futures[f]].content_hash()[:16]
+                            for f in pending
+                        ],
+                        elapsed_s=now - start,
+                        stalled_s=now - last_progress,
+                    )
         except BaseException:
             wait_at_shutdown = False
             raise
         finally:
             executor.shutdown(wait=wait_at_shutdown, cancel_futures=True)
-        return failed
+        return failed, abandoned
 
     def _commit(
         self, spec: RunSpec, result: NetSavingsResult, results: list, slot: int

@@ -8,11 +8,12 @@ campaign does not pile thousands of files into one directory):
 
 Each entry records a schema version, the spec hash and spec fields (for
 auditability), and the flattened
-:class:`~repro.leakctl.energy.NetSavingsResult`.  Writes are atomic
-(temp file + ``os.replace``), so a crashed or killed campaign can never
+:class:`~repro.leakctl.energy.NetSavingsResult`.  Writes are atomic and
+durable (temp file created *in the destination shard*, fsynced, then
+``os.replace``), so a crashed, killed, or power-cut campaign can never
 leave a half-written entry that later reads as a (wrong) hit: anything
-unreadable, schema-mismatched, or mis-keyed is treated as a miss and
-transparently re-run.
+unreadable, schema-mismatched, or mis-keyed is treated as a miss,
+quarantined out of the shard tree, and transparently re-run.
 """
 
 from __future__ import annotations
@@ -20,14 +21,19 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from dataclasses import asdict, dataclass, fields
 from pathlib import Path
 
+from repro import obs as _obs
 from repro.exec.spec import CODE_VERSION, RunSpec
 from repro.leakctl.energy import NetSavingsResult
 
 STORE_SCHEMA_VERSION = 1
 """Entry layout version; a mismatch invalidates the entry (clean re-run)."""
+
+QUARANTINE_DIR = "quarantine"
+"""Subdirectory (under the store root) where corrupt shards are moved."""
 
 
 @dataclass
@@ -38,6 +44,7 @@ class StoreStats:
     misses: int = 0
     writes: int = 0
     invalid: int = 0
+    quarantined: int = 0
 
     @property
     def lookups(self) -> int:
@@ -53,6 +60,7 @@ class StoreStats:
             "misses": self.misses,
             "writes": self.writes,
             "invalid": self.invalid,
+            "quarantined": self.quarantined,
             "hit_rate": self.hit_rate,
         }
 
@@ -78,8 +86,10 @@ class ResultStore:
         A corrupt file (partial write from a pre-atomic-writer tool, disk
         trouble), a schema-version mismatch, a key mismatch, or a result
         payload that no longer matches the current
-        :class:`NetSavingsResult` fields all count as misses — the caller
-        simply re-runs and overwrites.
+        :class:`NetSavingsResult` fields all count as misses — the bad
+        shard is moved aside into ``<root>/quarantine/`` (never silently
+        deleted, so it stays inspectable) and the caller simply re-runs
+        and overwrites.
         """
         key = spec.content_hash()
         path = self.root / key[:2] / f"{key}.json"
@@ -87,36 +97,65 @@ class ResultStore:
             payload = json.loads(path.read_text())
         except FileNotFoundError:
             self.stats.misses += 1
+            _obs.incr("store.misses")
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            self.stats.misses += 1
-            self.stats.invalid += 1
-            return None
+            return self._invalid(path)
         if (
             not isinstance(payload, dict)
             or payload.get("schema_version") != STORE_SCHEMA_VERSION
             or payload.get("spec_hash") != key
         ):
-            self.stats.misses += 1
-            self.stats.invalid += 1
-            return None
+            return self._invalid(path)
         result_fields = payload.get("result")
         known = {f.name for f in fields(NetSavingsResult)}
         if not isinstance(result_fields, dict) or set(result_fields) != known:
-            self.stats.misses += 1
-            self.stats.invalid += 1
-            return None
+            return self._invalid(path)
         try:
             result = NetSavingsResult(**result_fields)
         except TypeError:
-            self.stats.misses += 1
-            self.stats.invalid += 1
-            return None
+            return self._invalid(path)
         self.stats.hits += 1
+        _obs.incr("store.hits")
         return result
 
+    def _invalid(self, path: Path) -> None:
+        """Account an unreadable/invalid shard as a miss and quarantine it."""
+        self.stats.misses += 1
+        self.stats.invalid += 1
+        _obs.incr("store.misses")
+        _obs.incr("store.invalid")
+        self._quarantine(path)
+        return None
+
+    def _quarantine(self, path: Path) -> Path | None:
+        """Move a corrupt shard to ``<root>/quarantine/`` for post-mortems.
+
+        The destination name is suffixed with a timestamp so repeated
+        corruption of the same key never overwrites earlier evidence.
+        Quarantine failures are swallowed: the entry already counts as a
+        miss, and a read-only or racing filesystem must not break a run.
+        """
+        dest_dir = self.root / QUARANTINE_DIR
+        dest = dest_dir / f"{path.name}.{time.time_ns()}"
+        try:
+            dest_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            return None
+        self.stats.quarantined += 1
+        _obs.incr("store.quarantined")
+        return dest
+
     def put(self, spec: RunSpec, result: NetSavingsResult) -> Path:
-        """Atomically persist ``result`` under ``spec``'s content hash."""
+        """Atomically and durably persist ``result`` under the spec hash.
+
+        The temp file is created in the destination shard directory (so
+        ``os.replace`` never crosses filesystems) and fsynced before the
+        rename; the directory is fsynced after, so a power cut leaves
+        either the old state or the complete new entry — never a torn
+        file that :meth:`get` would have to quarantine.
+        """
         key = spec.content_hash()
         path = self.root / key[:2] / f"{key}.json"
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -134,7 +173,10 @@ class ResultStore:
         try:
             with os.fdopen(fd, "w") as handle:
                 handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
+            self._fsync_dir(path.parent)
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -142,7 +184,22 @@ class ResultStore:
                 pass
             raise
         self.stats.writes += 1
+        _obs.incr("store.writes")
         return path
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        """Flush a directory entry (rename durability); best-effort."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - e.g. platforms without dir fds
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover
+            pass
+        finally:
+            os.close(fd)
 
     def __len__(self) -> int:
         """Number of entries on disk (walks the tree; for tests/tools)."""

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from repro import obs
 from repro.exec import ExecutionMetrics, ResultStore, Scheduler
 from repro.experiments.export import (
     best_interval_figure_to_dict,
@@ -77,6 +78,8 @@ def run_campaign(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     cache_dir: str | Path | None = None,
+    timeout_s: float | None = None,
+    observe: bool = True,
 ) -> CampaignResult:
     """Regenerate every paper artefact into ``out_dir``.
 
@@ -86,7 +89,9 @@ def run_campaign(
     costs only the store lookups, and ``jobs > 1`` spreads cold runs over
     a process pool.  Runs are seed-deterministic, so the artefacts are
     identical at any job count.  Execution statistics land in
-    ``campaign_metrics.json``.
+    ``campaign_metrics.json``, and (with ``observe``, the default) a
+    structured event log in ``<out_dir>/events.jsonl`` — browse it with
+    ``repro-paper trace <out_dir>`` / ``repro-paper stats <out_dir>``.
 
     Args:
         out_dir: Directory for the text/JSON artefacts (created if needed).
@@ -95,6 +100,10 @@ def run_campaign(
         progress: Optional callback receiving one line per artefact.
         jobs: Simulation worker processes (1 = in-process serial).
         cache_dir: Result-store location (default ``<out_dir>/.cache``).
+        timeout_s: Optional per-job timeout for the scheduler.
+        observe: Write the observability event log.  If :mod:`repro.obs`
+            is already enabled (a caller-owned log), the campaign logs
+            into that instead of opening its own.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -109,8 +118,39 @@ def run_campaign(
     store = ResultStore(Path(cache_dir) if cache_dir is not None else out / ".cache")
     metrics = ExecutionMetrics()
     scheduler = Scheduler(
-        max_workers=jobs, store=store, metrics=metrics, progress=note
+        max_workers=jobs,
+        store=store,
+        metrics=metrics,
+        progress=note,
+        timeout_s=timeout_s,
     )
+
+    owned_obs = observe and not obs.is_enabled()
+    if owned_obs:
+        obs.enable(out / "events.jsonl")
+    try:
+        return _run_campaign_body(
+            out, n_ops, extra, result, note, store, metrics, scheduler,
+            jobs=jobs,
+        )
+    finally:
+        if owned_obs:
+            obs.emit("counters", counters=obs.counters(), spans=obs.span_stats())
+            obs.disable()
+
+
+def _run_campaign_body(
+    out: Path,
+    n_ops: int,
+    extra: dict,
+    result: CampaignResult,
+    note: Callable[[str], None],
+    store: ResultStore,
+    metrics: ExecutionMetrics,
+    scheduler: Scheduler,
+    *,
+    jobs: int,
+) -> CampaignResult:
 
     def emit(name: str, text: str, payload: dict | None = None) -> None:
         path = out / f"{name}.txt"
@@ -120,7 +160,7 @@ def run_campaign(
             save_json(payload, out / f"{name}.json")
         note(f"wrote {name}")
 
-    with metrics.phase("tables"):
+    with metrics.phase("tables"), obs.phase("tables"):
         emit("tab1_settling", render_settling_table(table_1()))
         emit("tab2_machine", render_machine_table(table_2()))
 
@@ -133,7 +173,7 @@ def run_campaign(
     ]
     for name, builder in figure_builders:
         note(f"running {name} ...")
-        with metrics.phase(name):
+        with metrics.phase(name), obs.phase(name):
             fig = builder(n_ops=n_ops, scheduler=scheduler, **extra)
         emit(name, render_comparison(fig), figure_to_dict(fig))
         winner = (
@@ -148,7 +188,9 @@ def run_campaign(
         )
 
     note("running fig12_13 interval sweep (the long one) ...")
-    with metrics.phase("fig12_13_best_interval"):
+    with metrics.phase("fig12_13_best_interval"), obs.phase(
+        "fig12_13_best_interval"
+    ):
         best = figure_12_13(n_ops=n_ops, scheduler=scheduler, **extra)
     emit(
         "fig12_13_best_interval",

@@ -19,6 +19,7 @@ import itertools
 from dataclasses import dataclass
 from functools import lru_cache
 
+from repro import obs as _obs
 from repro.cache.cache import Cache
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.cpu.config import MachineConfig
@@ -341,6 +342,7 @@ def run_once(
                     itertools.islice(iter(ops), warmup_ops),
                     machine,
                 )
+                _obs.incr("runner.warmup_replayed")
             else:
                 key = (benchmark, seed, warmup_ops, rng_mode, machine)
                 snap = _WARMUP_MEMO.get(key)
@@ -356,10 +358,14 @@ def run_once(
                     _WARMUP_MEMO[key] = _snapshot_warm_state(
                         hierarchy, pipeline
                     )
+                    _obs.incr("runner.warmup_replayed")
                 else:
                     _restore_warm_state(hierarchy, pipeline, snap)
+                    _obs.incr("runner.warmup_restored")
         stream = iter(ops[warmup_ops:])
-    stats = pipeline.run(stream)
+    with _obs.span("runner.pipeline_run"):
+        stats = pipeline.run(stream)
+    _obs.incr("runner.runs")
     return RunOutput(
         stats=stats,
         accountant=accountant,
@@ -460,6 +466,7 @@ def figure_point(
     requested temperature and supply voltage (the DVS hook: a lower Vdd
     shrinks both the leakage at stake and the dynamic costs).
     """
+    _obs.incr("runner.figure_points")
     base = _baseline_cached(benchmark, l2_latency, n_ops, seed, vdd, engine)
     machine = MachineConfig().with_l2_latency(l2_latency)
     tech_run = run_once(

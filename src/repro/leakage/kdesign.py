@@ -31,10 +31,12 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.circuits.library import STANDARD_CELLS
 from repro.circuits.netlist import Netlist
 from repro.circuits.solver import LeakageSolver
 from repro.leakage.bsim3 import unit_leakage
+from repro.memo import LRUMemo
 from repro.tech.constants import ROOM_TEMP_K, quantise_temp
 from repro.tech.nodes import TechnologyNode, get_node
 
@@ -42,8 +44,9 @@ from repro.tech.nodes import TechnologyNode, get_node
 # Vdd, quantised T).  The input-combination DC solves underneath are also
 # memoised (:mod:`repro.circuits.solver`); this table skips even the combo
 # enumeration when an identical derivation is requested again.  Keys
-# quantise the temperature to a 1 µK grid (see ``quantise_temp``).
-_KDESIGN_MEMO: dict[tuple, "KDesign"] = {}
+# quantise the temperature to a 1 µK grid (see ``quantise_temp``).  LRU
+# bound: cells x operating points of a full sweep is a few dozen keys.
+_KDESIGN_MEMO = LRUMemo(maxsize=512)
 
 
 def clear_kdesign_memo() -> None:
@@ -101,7 +104,9 @@ def derive_kdesign(
     )
     cached = _KDESIGN_MEMO.get(memo_key)
     if cached is not None:
+        _obs.incr("kdesign.memo_hits")
         return cached
+    _obs.incr("kdesign.memo_misses")
     solver = LeakageSolver(node, vdd=vdd, temp_k=temp_k)
     n_nmos, n_pmos = netlist.count_devices()
 

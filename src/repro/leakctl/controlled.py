@@ -22,8 +22,9 @@ leakage by debiting ``sleep_cycles`` at deactivation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 
+from repro import obs as _obs
 from repro.cache.blocks import LineMode
 from repro.cache.cache import Cache, Victim
 from repro.leakctl.base import DecayPolicy, TechniqueConfig, TechniqueKind
@@ -181,6 +182,12 @@ class ControlledCache:
             for set_idx in range(g.n_sets)
             for way in range(g.assoc)
         ]
+        # Touch-heavy traces re-arm lines far faster than ticks retire the
+        # superseded entries, so the heap is compacted — stale entries
+        # filtered, survivors re-heapified — whenever it outgrows this
+        # bound.  At most n_lines entries are live at any time.
+        self._heap_limit = max(64, 4 * g.n_lines)
+        self.heap_compactions = 0
 
     # ------------------------------------------------------------------
     # Leakage integration
@@ -198,6 +205,13 @@ class ControlledCache:
         self.advance(cycle)
         self._integrate(cycle)
         self.stats.total_cycles = cycle
+        if _obs.is_enabled():
+            stats = self.stats
+            _obs.incr("controlled.runs")
+            _obs.incr("controlled.accesses", stats.accesses)
+            _obs.incr("controlled.deactivations", stats.deactivations)
+            _obs.incr("controlled.wakeups", stats.wakeups)
+            _obs.incr("controlled.heap_compactions", self.heap_compactions)
 
     # ------------------------------------------------------------------
     # Decay machinery
@@ -237,6 +251,29 @@ class ControlledCache:
         expiry = self._tick_index + 4
         self._line_expiry[set_idx][way] = expiry
         heappush(self._expiry_heap, (expiry, set_idx, way))
+        if len(self._expiry_heap) > self._heap_limit:
+            self._compact_expiry_heap()
+
+    def _compact_expiry_heap(self) -> None:
+        """Drop stale heap entries (bounded memory, identical decay).
+
+        An entry is live iff it still is the line's current expiry and the
+        line is active; every other entry would be skipped by the tick
+        loop anyway.  Filtering preserves the multiset of live entries and
+        the heap pops tuples in total order, so the deactivation sequence
+        is exactly the one the un-compacted heap would have produced.
+        """
+        lines = self.cache.lines
+        expiry = self._line_expiry
+        live = [
+            entry
+            for entry in self._expiry_heap
+            if expiry[entry[1]][entry[2]] == entry[0]
+            and lines[entry[1]][entry[2]].mode is LineMode.ACTIVE
+        ]
+        heapify(live)
+        self._expiry_heap = live
+        self.heap_compactions += 1
 
     def _noaccess_tick_lazy(self, cycle: int) -> None:
         """One global tick under the expiry heap: O(expiries), not O(lines).

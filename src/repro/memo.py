@@ -1,0 +1,62 @@
+"""Bounded memoisation: a dict with least-recently-used eviction.
+
+The PR-2 analytic memos (DC solves, ``k_design`` derivations, residual
+fractions) were plain module-level dicts — correct, but unbounded: a long
+campaign that walks many (node, Vdd, T) operating points grows them
+forever.  :class:`LRUMemo` keeps the same two-call surface those modules
+use (``get`` / ``__setitem__`` / ``clear``) while evicting the
+least-recently-*used* entry once ``maxsize`` is reached.  Every memoised
+computation is a pure function of its key, so an eviction can only cost a
+recompute, never change a result — the golden-equivalence tests pin that.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+
+class LRUMemo:
+    """A bounded memo dict; reads refresh recency, writes may evict.
+
+    Args:
+        maxsize: Entry cap; must cover the working set of one full figure
+            sweep or the memo thrashes (callers size generously — entries
+            are small and the cap only exists to bound long campaigns).
+    """
+
+    __slots__ = ("maxsize", "evictions", "_data")
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.evictions = 0
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        data = self._data
+        try:
+            value = data[key]
+        except KeyError:
+            return default
+        data.move_to_end(key)
+        return value
+
+    def __setitem__(self, key: Hashable, value: Any) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+            self.evictions += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()

@@ -1,0 +1,57 @@
+"""Zero-overhead-when-disabled observability for campaigns.
+
+``repro.obs`` gives every layer of the simulator a common place to report
+*how* it ran without changing *what* it computes: hierarchical timing
+spans and named counters (:func:`span` / :func:`incr`), a structured
+JSONL event log per campaign (:mod:`repro.obs.events`), and the
+aggregation behind the ``repro trace`` / ``repro stats`` CLI views
+(:mod:`repro.obs.views`).
+
+Everything hangs off one enable flag.  While disabled (the default)
+every instrumentation site reduces to a single attribute check or a
+shared no-op context manager, so the PR-2 hot paths cost nothing extra;
+while enabled, results remain bit-identical — observability records,
+it never steers.
+
+Typical campaign use::
+
+    from repro import obs
+
+    obs.enable("results/events.jsonl")
+    with obs.phase("fig03_04"):
+        ...                      # scheduler/runner/solver events land here
+    obs.emit("counters", counters=obs.counters(), spans=obs.span_stats())
+    obs.disable()
+"""
+
+from repro.obs.core import (
+    counters,
+    disable,
+    emit,
+    enable,
+    incr,
+    is_enabled,
+    log_path,
+    phase,
+    reset,
+    span,
+    span_stats,
+)
+from repro.obs.events import EVENT_SCHEMA_VERSION, EventLog, read_events
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "EventLog",
+    "counters",
+    "disable",
+    "emit",
+    "enable",
+    "incr",
+    "is_enabled",
+    "log_path",
+    "phase",
+    "read_events",
+    "reset",
+    "span",
+    "span_stats",
+]

@@ -1,0 +1,211 @@
+"""Observability core: the span/counter registry and the enable flag.
+
+One module-level :class:`ObsState` carries everything: the ``enabled``
+flag the instrumented hot paths check, the named counters, the
+hierarchical timing-span aggregates, and the (optional) attached
+:class:`~repro.obs.events.EventLog`.  The design constraint is *zero
+overhead when disabled*: every instrumentation site is either guarded by
+a single attribute check (``if obs.enabled:``) or goes through
+:func:`span`, which returns a shared no-op context manager while
+disabled.  Nothing here ever alters simulation state, so results are
+bit-identical with observability on or off.
+
+Spans are hierarchical: entering a span pushes its name onto a stack and
+the aggregate is keyed by the full ``/``-joined path, so a solver span
+opened inside a runner span shows up as ``runner.run_once/solver.solve``.
+Campaign phases are spans opened with :func:`phase`; the current phase
+name stamps every event the log records.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.obs.events import EventLog
+
+__all__ = [
+    "enable",
+    "disable",
+    "is_enabled",
+    "reset",
+    "incr",
+    "span",
+    "phase",
+    "emit",
+    "counters",
+    "span_stats",
+    "log_path",
+]
+
+
+class SpanStat:
+    """Aggregate for one span path: call count and total wall seconds."""
+
+    __slots__ = ("count", "total_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"count": self.count, "total_s": self.total_s}
+
+
+class ObsState:
+    """All mutable observability state (one module-level instance)."""
+
+    __slots__ = ("enabled", "counters", "spans", "stack", "log", "phase")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.counters: dict[str, float] = {}
+        self.spans: dict[str, SpanStat] = {}
+        self.stack: list[str] = []
+        self.log: EventLog | None = None
+        self.phase: str = ""
+
+
+_STATE = ObsState()
+
+
+class _NullSpan:
+    """The shared do-nothing context manager handed out while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live timing span; use via :func:`span` (context-manager API)."""
+
+    __slots__ = ("name", "_start")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        _STATE.stack.append(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        elapsed = time.perf_counter() - self._start
+        stack = _STATE.stack
+        path = "/".join(stack)
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        stat = _STATE.spans.get(path)
+        if stat is None:
+            stat = _STATE.spans[path] = SpanStat()
+        stat.count += 1
+        stat.total_s += elapsed
+
+
+class _PhaseSpan(Span):
+    """A span that also sets the event-stamping phase and logs boundaries."""
+
+    __slots__ = ("_prev_phase",)
+
+    def __enter__(self) -> "Span":
+        self._prev_phase = _STATE.phase
+        _STATE.phase = self.name
+        emit("phase_started", name=self.name)
+        return super().__enter__()
+
+    def __exit__(self, *exc: object) -> None:
+        elapsed = time.perf_counter() - self._start
+        super().__exit__(*exc)
+        emit("phase_finished", name=self.name, wall_s=elapsed)
+        _STATE.phase = self._prev_phase
+
+
+def enable(log: str | None = None) -> None:
+    """Turn observability on, optionally attaching a JSONL event log.
+
+    ``log`` is the path the event log is (re)created at — one campaign,
+    one file.  Calling :func:`enable` while already enabled re-points the
+    log but keeps accumulated counters and spans.
+    """
+    if log is not None:
+        if _STATE.log is not None:
+            _STATE.log.close()
+        _STATE.log = EventLog(log)
+    _STATE.enabled = True
+
+
+def disable() -> None:
+    """Turn observability off and close any attached event log."""
+    _STATE.enabled = False
+    if _STATE.log is not None:
+        _STATE.log.close()
+        _STATE.log = None
+
+
+def is_enabled() -> bool:
+    return _STATE.enabled
+
+
+def log_path() -> str | None:
+    """Path of the attached event log, or None."""
+    return None if _STATE.log is None else str(_STATE.log.path)
+
+
+def reset() -> None:
+    """Drop all counters/spans and detach the log (tests)."""
+    disable()
+    _STATE.counters.clear()
+    _STATE.spans.clear()
+    _STATE.stack.clear()
+    _STATE.phase = ""
+
+
+def incr(name: str, n: float = 1) -> None:
+    """Add ``n`` to counter ``name`` (no-op while disabled)."""
+    if not _STATE.enabled:
+        return
+    _STATE.counters[name] = _STATE.counters.get(name, 0) + n
+
+
+def span(name: str):
+    """Context manager timing one named (hierarchical) span.
+
+    While disabled this returns a shared no-op object, so instrumented
+    call sites pay one function call and nothing else.
+    """
+    if not _STATE.enabled:
+        return _NULL_SPAN
+    return Span(name)
+
+
+def phase(name: str):
+    """A top-level campaign phase: a span that stamps subsequent events."""
+    if not _STATE.enabled:
+        return _NULL_SPAN
+    return _PhaseSpan(name)
+
+
+def emit(event: str, **fields: Any) -> None:
+    """Write one structured event to the attached log (if any)."""
+    if not _STATE.enabled or _STATE.log is None:
+        return
+    _STATE.log.write(event, _STATE.phase, fields)
+
+
+def counters() -> dict[str, float]:
+    """Snapshot of every counter (a copy; safe to mutate)."""
+    return dict(_STATE.counters)
+
+
+def span_stats() -> dict[str, dict[str, Any]]:
+    """Snapshot of every span aggregate, keyed by full span path."""
+    return {path: stat.to_dict() for path, stat in _STATE.spans.items()}

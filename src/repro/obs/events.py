@@ -1,0 +1,92 @@
+"""The structured JSONL event log: one campaign, one append-only file.
+
+Every line is a self-contained JSON object::
+
+    {"t": 12.034, "ts": 1754500000.1, "pid": 4711,
+     "phase": "fig03_04_l2_5", "event": "run_finished",
+     "spec": "ab12cd34...", "worker": 4712, "wall_s": 0.41, ...}
+
+``t`` is seconds since the log was opened (cheap to eyeball), ``ts`` the
+absolute POSIX timestamp, ``phase`` the campaign phase that was current
+when the event fired (see :func:`repro.obs.phase`).  Event kinds written
+by the instrumented layers:
+
+=================  ======================================================
+``run_started``    a spec began executing (serial) or was submitted (pool)
+``run_finished``   a spec produced a result: worker pid, wall/CPU seconds,
+                   peak RSS (kB)
+``run_failed``     a spec raised; carries the error repr
+``run_retried``    a failed/abandoned spec was rescheduled serially
+``run_timeout``    the pool budget expired with this spec outstanding
+``cache_hit``      the result store (or in-batch dedup) served a spec
+``heartbeat``      the scheduler's periodic straggler report
+``phase_started``  a campaign phase opened
+``phase_finished`` a campaign phase closed (with its wall seconds)
+``counters``       final counter/span snapshot, written at campaign end
+=================  ======================================================
+
+Writes are line-buffered appends from the coordinating process only
+(worker telemetry travels back inside the scheduler's result tuples), so
+the log never needs cross-process locking.  Readers should skip lines
+that fail to parse (a crashed campaign may leave a torn final line).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Iterator
+
+EVENT_SCHEMA_VERSION = 1
+
+
+class EventLog:
+    """Append-only JSONL writer for one campaign's events."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w", encoding="utf-8")
+        self._t0 = time.perf_counter()
+        self._pid = os.getpid()
+        self.write(
+            "log_opened",
+            "",
+            {"schema_version": EVENT_SCHEMA_VERSION},
+        )
+
+    def write(self, event: str, phase: str, fields: dict[str, Any]) -> None:
+        """Append one event line (flushed immediately; low event rate)."""
+        if self._fh.closed:
+            return
+        record = {
+            "t": round(time.perf_counter() - self._t0, 6),
+            "ts": time.time(),
+            "pid": self._pid,
+            "phase": phase,
+            "event": event,
+        }
+        record.update(fields)
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+def read_events(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Yield parsed events from a JSONL log, skipping torn/garbage lines."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "event" in record:
+                yield record

@@ -1,0 +1,301 @@
+"""Aggregation and rendering of campaign event logs.
+
+The ``repro trace`` and ``repro stats`` CLI views are thin wrappers over
+this module: :func:`load_campaign_events` resolves a campaign directory
+(or a direct path) to its ``events.jsonl``, :func:`aggregate` folds the
+event stream into per-phase and campaign-wide summaries, and the
+``render_*`` functions print them as the usual fixed-width tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.experiments.reporting import render_table
+from repro.obs.events import read_events
+
+EVENTS_FILENAME = "events.jsonl"
+
+# Per-run event kinds shown in the chronological trace listing.
+_RUN_EVENTS = (
+    "run_started",
+    "run_finished",
+    "run_failed",
+    "run_retried",
+    "run_timeout",
+    "cache_hit",
+    "heartbeat",
+)
+
+
+def resolve_events_path(campaign: str | Path) -> Path:
+    """``<campaign>/events.jsonl`` for a directory, the path itself else.
+
+    Raises:
+        FileNotFoundError: If no event log exists there.
+    """
+    path = Path(campaign)
+    if path.is_dir():
+        path = path / EVENTS_FILENAME
+    if not path.is_file():
+        raise FileNotFoundError(
+            f"no event log at {path} (run a campaign with observability "
+            f"enabled, e.g. 'repro-paper reproduce')"
+        )
+    return path
+
+
+def load_campaign_events(campaign: str | Path) -> list[dict[str, Any]]:
+    """Every parsed event of a campaign, in log order."""
+    return list(read_events(resolve_events_path(campaign)))
+
+
+@dataclass
+class PhaseSummary:
+    """Per-phase roll-up of the run events that fired inside it."""
+
+    name: str
+    runs_started: int = 0
+    runs_finished: int = 0
+    failures: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    cache_hits: int = 0
+    run_wall_s: float = 0.0
+    run_cpu_s: float = 0.0
+    wall_s: float | None = None  # from phase_finished, if present
+
+
+@dataclass
+class CampaignSummary:
+    """Campaign-wide roll-up of one event log."""
+
+    phases: dict[str, PhaseSummary] = field(default_factory=dict)
+    events_total: int = 0
+    heartbeats: int = 0
+    max_rss_kb: float = 0.0
+    counters: dict[str, float] = field(default_factory=dict)
+    spans: dict[str, dict[str, Any]] = field(default_factory=dict)
+    slowest_runs: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def runs_finished(self) -> int:
+        return sum(p.runs_finished for p in self.phases.values())
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(p.cache_hits for p in self.phases.values())
+
+
+def aggregate(events: Iterable[dict[str, Any]]) -> CampaignSummary:
+    """Fold an event stream into the campaign summary."""
+    summary = CampaignSummary()
+    finished: list[dict[str, Any]] = []
+    for record in events:
+        summary.events_total += 1
+        kind = record.get("event")
+        phase_name = record.get("phase") or "(no phase)"
+        if kind == "phase_finished":
+            phase = _phase(summary, record.get("name") or phase_name)
+            phase.wall_s = float(record.get("wall_s") or 0.0)
+            continue
+        if kind == "counters":
+            counters = record.get("counters")
+            if isinstance(counters, dict):
+                summary.counters = counters
+            spans = record.get("spans")
+            if isinstance(spans, dict):
+                summary.spans = spans
+            continue
+        if kind not in _RUN_EVENTS:
+            continue
+        phase = _phase(summary, phase_name)
+        if kind == "run_started":
+            phase.runs_started += 1
+        elif kind == "run_finished":
+            phase.runs_finished += 1
+            phase.run_wall_s += float(record.get("wall_s") or 0.0)
+            phase.run_cpu_s += float(record.get("cpu_s") or 0.0)
+            summary.max_rss_kb = max(
+                summary.max_rss_kb, float(record.get("max_rss_kb") or 0.0)
+            )
+            finished.append(record)
+        elif kind == "run_failed":
+            phase.failures += 1
+        elif kind == "run_retried":
+            phase.retries += 1
+        elif kind == "run_timeout":
+            phase.timeouts += 1
+        elif kind == "cache_hit":
+            phase.cache_hits += 1
+        elif kind == "heartbeat":
+            summary.heartbeats += 1
+    finished.sort(key=lambda r: -(r.get("wall_s") or 0.0))
+    summary.slowest_runs = finished[:5]
+    return summary
+
+
+def _phase(summary: CampaignSummary, name: str) -> PhaseSummary:
+    phase = summary.phases.get(name)
+    if phase is None:
+        phase = summary.phases[name] = PhaseSummary(name=name)
+    return phase
+
+
+def _spec8(record: dict[str, Any]) -> str:
+    spec = record.get("spec")
+    return str(spec)[:8] if spec else ""
+
+
+def _detail(record: dict[str, Any]) -> str:
+    kind = record.get("event")
+    if kind == "run_finished":
+        rss = record.get("max_rss_kb")
+        parts = [f"wall {record.get('wall_s', 0.0):.3f}s"]
+        if record.get("cpu_s") is not None:
+            parts.append(f"cpu {record['cpu_s']:.3f}s")
+        if rss:
+            parts.append(f"rss {rss / 1024.0:.0f}MB")
+        return ", ".join(parts)
+    if kind == "run_failed":
+        return str(record.get("error", ""))[:48]
+    if kind == "run_retried":
+        return f"attempt {record.get('attempt', '?')}"
+    if kind == "cache_hit":
+        return str(record.get("source", "store"))
+    if kind == "heartbeat":
+        outstanding = record.get("outstanding")
+        n = len(outstanding) if isinstance(outstanding, list) else "?"
+        return f"{n} job(s) outstanding, {record.get('elapsed_s', 0.0):.0f}s in"
+    if kind in ("phase_started", "phase_finished"):
+        return str(record.get("name", ""))
+    return ""
+
+
+def render_trace(
+    events: list[dict[str, Any]],
+    *,
+    limit: int | None = None,
+    phase: str | None = None,
+) -> str:
+    """Chronological per-run event listing plus the per-phase breakdown."""
+    shown = [
+        r
+        for r in events
+        if r.get("event") in _RUN_EVENTS + ("phase_started", "phase_finished")
+        and (phase is None or r.get("phase") == phase or r.get("name") == phase)
+    ]
+    clipped = 0
+    if limit is not None and len(shown) > limit:
+        clipped = len(shown) - limit
+        shown = shown[-limit:]
+    rows = [
+        [
+            f"{r.get('t', 0.0):9.3f}",
+            str(r.get("event")),
+            str(r.get("phase") or ""),
+            _spec8(r),
+            str(r.get("worker") or ""),
+            _detail(r),
+        ]
+        for r in shown
+    ]
+    out = [
+        render_table(
+            ["t (s)", "event", "phase", "spec", "worker", "detail"], rows
+        )
+    ]
+    if clipped:
+        out.append(f"({clipped} earlier event(s) clipped; use --limit 0)")
+    out.append("")
+    out.append(render_phase_breakdown(aggregate(events)))
+    return "\n".join(out)
+
+
+def render_phase_breakdown(summary: CampaignSummary) -> str:
+    """The per-phase time/run breakdown table."""
+    rows = []
+    for name, p in summary.phases.items():
+        wall = p.wall_s if p.wall_s is not None else p.run_wall_s
+        rows.append(
+            [
+                name,
+                str(p.runs_finished),
+                str(p.cache_hits),
+                str(p.retries),
+                str(p.failures),
+                f"{p.run_wall_s:9.2f}",
+                f"{wall:9.2f}",
+            ]
+        )
+    return "per-phase breakdown:\n" + render_table(
+        ["phase", "runs", "hits", "retries", "fails", "run wall s", "wall s"],
+        rows,
+    )
+
+
+def render_stats(summary: CampaignSummary) -> str:
+    """Campaign-wide statistics: totals, counters, spans, slowest runs."""
+    out = []
+    total_runs = summary.runs_finished
+    hits = summary.cache_hits
+    lookups = total_runs + hits
+    hit_rate = hits / lookups if lookups else 0.0
+    rows = [
+        ["events", str(summary.events_total)],
+        ["runs executed", str(total_runs)],
+        ["cache hits", f"{hits} ({100.0 * hit_rate:.0f} %)"],
+        ["retries", str(sum(p.retries for p in summary.phases.values()))],
+        ["failures", str(sum(p.failures for p in summary.phases.values()))],
+        ["timeouts", str(sum(p.timeouts for p in summary.phases.values()))],
+        ["heartbeats", str(summary.heartbeats)],
+    ]
+    if summary.max_rss_kb:
+        rows.append(["peak worker RSS", f"{summary.max_rss_kb / 1024.0:.0f} MB"])
+    out.append(render_table(["metric", "value"], rows))
+    out.append("")
+    out.append(render_phase_breakdown(summary))
+    if summary.slowest_runs:
+        out.append("")
+        out.append("slowest runs:")
+        out.append(
+            render_table(
+                ["spec", "phase", "wall s", "cpu s"],
+                [
+                    [
+                        _spec8(r),
+                        str(r.get("phase") or ""),
+                        f"{r.get('wall_s', 0.0):.3f}",
+                        f"{r.get('cpu_s', 0.0):.3f}",
+                    ]
+                    for r in summary.slowest_runs
+                ],
+            )
+        )
+    if summary.spans:
+        out.append("")
+        out.append("timing spans:")
+        out.append(
+            render_table(
+                ["span", "count", "total s"],
+                [
+                    [path, str(s.get("count", 0)), f"{s.get('total_s', 0.0):.3f}"]
+                    for path, s in sorted(summary.spans.items())
+                ],
+            )
+        )
+    if summary.counters:
+        out.append("")
+        out.append("counters:")
+        out.append(
+            render_table(
+                ["counter", "value"],
+                [
+                    [name, f"{value:g}"]
+                    for name, value in sorted(summary.counters.items())
+                ],
+            )
+        )
+    return "\n".join(out)

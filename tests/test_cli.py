@@ -24,6 +24,53 @@ class TestParser:
         assert args.ops == 500
 
 
+class TestExecFlagValidation:
+    def test_rejects_zero_jobs(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            build_parser().parse_args(["figure", "3_4", "-j", "0"])
+        assert err.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_rejects_negative_jobs(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            build_parser().parse_args(["reproduce", "-j", "-3"])
+        assert err.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_rejects_non_integer_jobs(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "gcc", "drowsy", "-j", "two"])
+        assert "expected an integer" in capsys.readouterr().err
+
+    def test_rejects_zero_timeout(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            build_parser().parse_args(["reproduce", "--timeout", "0"])
+        assert err.value.code == 2
+        assert "must be > 0" in capsys.readouterr().err
+
+    def test_rejects_negative_timeout(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            build_parser().parse_args(["figure", "3_4", "--timeout", "-1.5"])
+        assert err.value.code == 2
+        assert "must be > 0" in capsys.readouterr().err
+
+    def test_rejects_non_numeric_timeout(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce", "--timeout", "soon"])
+        assert "expected a number" in capsys.readouterr().err
+
+    def test_accepts_valid_flags(self):
+        args = build_parser().parse_args(
+            ["reproduce", "-j", "4", "--timeout", "120.5"]
+        )
+        assert args.jobs == 4
+        assert args.timeout == 120.5
+
+    def test_timeout_defaults_to_none(self):
+        args = build_parser().parse_args(["figure", "3_4"])
+        assert args.timeout is None
+
+
 class TestCommands:
     def test_tables(self, capsys):
         assert main(["tables"]) == 0
@@ -96,6 +143,56 @@ class TestReproduceAndValidateCommands:
 
         assert main(["validate", str(tmp_path / "nowhere")]) == 2
         assert "missing artefact" in capsys.readouterr().err
+
+
+class TestTraceAndStatsCommands:
+    def test_trace_and_stats_on_fresh_campaign(self, tmp_path, capsys):
+        """Acceptance: reproduce writes an event log that trace/stats can
+        browse, with per-run events and a per-phase time breakdown."""
+        from repro.cli import main
+
+        out = tmp_path / "res"
+        assert main(
+            ["reproduce", "--out", str(out), "--quick",
+             "--benchmarks", "gcc"]
+        ) == 0
+        assert (out / "events.jsonl").exists()
+        capsys.readouterr()
+
+        assert main(["trace", str(out)]) == 0
+        trace_out = capsys.readouterr().out
+        assert "run_finished" in trace_out
+        assert "per-phase breakdown" in trace_out
+        assert "fig12_13_best_interval" in trace_out
+
+        assert main(["stats", str(out)]) == 0
+        stats_out = capsys.readouterr().out
+        assert "runs executed" in stats_out
+        assert "cache hits" in stats_out
+        assert "timing spans" in stats_out
+        assert "pipeline.runs" in stats_out
+
+    def test_trace_on_missing_log(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["trace", str(tmp_path / "nowhere")]) == 2
+        assert "no event log" in capsys.readouterr().err
+
+    def test_stats_on_missing_log(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["stats", str(tmp_path)]) == 2
+        assert "no event log" in capsys.readouterr().err
+
+    def test_reproduce_no_obs_skips_log(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "res"
+        assert main(
+            ["reproduce", "--out", str(out), "--quick",
+             "--benchmarks", "gcc", "--no-obs"]
+        ) == 0
+        assert not (out / "events.jsonl").exists()
 
 
 class TestEngineFlag:

@@ -307,6 +307,70 @@ class TestLeakageIntegration:
         assert acct.counts["decay_counter_tick"] >= TINY.n_lines
 
 
+class TestExpiryHeapBound:
+    """Regression: the lazy-decay expiry heap must stay bounded.
+
+    Every counter reset pushes a heap entry, and a touch-heavy trace
+    re-arms lines far faster than ticks retire the superseded entries —
+    before compaction the heap grew with the access count."""
+
+    def _touch_heavy(self, cache, *, rounds=4000):
+        # Hammer two hot lines with frequent re-arms plus background
+        # traffic, advancing slowly enough that almost no entry retires.
+        hot = [addr(cache, 0, 1), addr(cache, 1, 1)]
+        cycle = 0
+        for i in range(rounds):
+            cycle += 7
+            touch(cache, hot[i % 2], cycle, is_write=(i % 16 == 0))
+            if i % 8 == 0:
+                touch(cache, addr(cache, i % 8, i % 2), cycle + 1)
+        return cycle
+
+    def test_heap_stays_bounded_under_touch_heavy_trace(self):
+        cache, _ = make_cache(drowsy_technique())
+        rounds = 4000
+        self._touch_heavy(cache, rounds=rounds)
+        assert cache.heap_compactions > 0
+        assert len(cache._expiry_heap) <= cache._heap_limit
+        # The bound is structural (a small multiple of the line count),
+        # not proportional to the access count.
+        assert cache._heap_limit < rounds // 4
+
+    def test_compaction_preserves_decay_results(self):
+        """Bit-identity: the compacted lazy heap decays exactly the lines,
+        at exactly the ticks, that the reference full-array scan does."""
+        fast, _ = make_cache(drowsy_technique())
+        ref = ControlledCache(
+            Cache("l1d", TINY),
+            drowsy_technique(),
+            decay_interval=INTERVAL,
+            policy=DecayPolicy.NOACCESS,
+            reference=True,
+        )
+        assert fast._lazy and not ref._lazy
+        for cache in (fast, ref):
+            end = self._touch_heavy(cache, rounds=2500)
+            # Let part of the population decay, touch again, decay again.
+            cache.advance(end + 3 * INTERVAL)
+            touch(cache, addr(cache, 0, 1), end + 3 * INTERVAL)
+            cache.advance(end + 6 * INTERVAL)
+            cache.finalize(end + 6 * INTERVAL)
+        assert fast.heap_compactions > 0
+        for set_idx in range(TINY.n_sets):
+            for way in range(TINY.assoc):
+                a = fast.cache.lines[set_idx][way]
+                b = ref.cache.lines[set_idx][way]
+                assert a.mode is b.mode, (set_idx, way)
+                assert a.tag == b.tag and a.valid == b.valid
+        assert fast.n_standby == ref.n_standby
+        for name in (
+            "hits", "slow_hits", "induced_misses", "true_misses",
+            "deactivations", "wakeups", "decay_writebacks",
+            "standby_line_cycles",
+        ):
+            assert getattr(fast.stats, name) == getattr(ref.stats, name), name
+
+
 class TestBankGranularity:
     """Paper Section 2.3: decay 'can be done at various granularities'."""
 

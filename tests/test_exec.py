@@ -181,6 +181,67 @@ class TestScheduler:
             Scheduler(max_workers=0)
         with pytest.raises(ValueError):
             Scheduler(retries=-1)
+        with pytest.raises(ValueError, match="timeout_s"):
+            Scheduler(timeout_s=0)
+        with pytest.raises(ValueError, match="timeout_s"):
+            Scheduler(timeout_s=-5.0)
+        with pytest.raises(ValueError, match="heartbeat_s"):
+            Scheduler(heartbeat_s=0)
+
+
+class TestPoolTimeout:
+    def test_hanging_job_is_abandoned_not_retried(self, monkeypatch):
+        """A job that outlives the batch budget is abandoned (its pool is
+        shut down with cancel_futures) and re-run serially exactly once,
+        counted as a timeout — never double-counted as a retry."""
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.exec import scheduler as sched_mod
+
+        specs = [
+            RunSpec(benchmark=b, technique="drowsy", **FAST)
+            for b in ("gcc", "gzip")
+        ]
+        victim = specs[0].content_hash()
+        # Precompute the results so the monkeypatched entry point returns
+        # instantly — only the deliberate hang consumes wall time, which
+        # keeps the test deterministic under a loaded machine.
+        expected = {s.content_hash(): s.execute() for s in specs}
+        release = threading.Event()
+        calls: list[str] = []
+
+        def hang_once(spec):
+            key = spec.content_hash()
+            calls.append(key)
+            if key == victim and calls.count(victim) == 1:
+                release.wait(timeout=60)
+            return expected[key]
+
+        # Threads (not processes) so the monkeypatched entry point is the
+        # one the pool actually runs.
+        monkeypatch.setattr(sched_mod, "ProcessPoolExecutor", ThreadPoolExecutor)
+        monkeypatch.setattr(sched_mod, "execute_spec", hang_once)
+        try:
+            metrics = ExecutionMetrics()
+            sched = Scheduler(max_workers=2, timeout_s=1.0, metrics=metrics)
+            results = sched.run(specs)
+            assert len(results) == 2
+            for got, spec in zip(results, specs):
+                assert_results_identical(got, expected[spec.content_hash()])
+            assert metrics.timeouts == 1
+            assert metrics.retries == 0
+            assert metrics.failures == 0
+            # Victim ran twice (hung attempt + serial pass), peer once.
+            assert calls.count(victim) == 2
+            assert calls.count(specs[1].content_hash()) == 1
+        finally:
+            release.set()
+
+    def test_pool_timeout_metrics_serialised(self):
+        metrics = ExecutionMetrics()
+        metrics.timeouts += 3
+        assert metrics.to_dict()["timeouts"] == 3
 
 
 class TestCampaignIntegration:

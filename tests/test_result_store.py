@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 
 import pytest
 
@@ -177,3 +178,82 @@ class TestCorruptionHandling:
         monkeypatch.undo()
         assert list(store.root.rglob("*.tmp")) == []
         assert store.get(spec) is None
+
+    def test_put_fsyncs_before_rename(self, store, spec, monkeypatch):
+        """Durability: the temp file is flushed to disk before it is
+        renamed into place, so a power cut cannot promote a torn file."""
+        order: list[str] = []
+        real_fsync = os.fsync
+        real_replace = os.replace
+
+        def spy_fsync(fd):
+            order.append("fsync")
+            return real_fsync(fd)
+
+        def spy_replace(src, dst):
+            order.append("replace")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.exec.store.os.fsync", spy_fsync)
+        monkeypatch.setattr("repro.exec.store.os.replace", spy_replace)
+        store.put(spec, make_result())
+        assert "fsync" in order and "replace" in order
+        assert order.index("fsync") < order.index("replace")
+
+
+class TestQuarantine:
+    def test_corrupt_shard_is_quarantined(self, store, spec):
+        """A corrupt entry is moved aside (inspectable, never a repeat
+        offender) and the slot recovers with a fresh put."""
+        store.put(spec, make_result())
+        path = store.path_for(spec)
+        path.write_text("not json {")
+        assert store.get(spec) is None
+        assert not path.exists()
+        assert store.stats.quarantined == 1
+        quarantined = list((store.root / "quarantine").iterdir())
+        assert len(quarantined) == 1
+        assert quarantined[0].name.startswith(path.name)
+        assert quarantined[0].read_text() == "not json {"
+        # The shard tree is clean again: re-put then hit.
+        store.put(spec, make_result())
+        assert store.get(spec) is not None
+        assert store.stats.quarantined == 1
+
+    def test_schema_mismatch_is_quarantined(self, store, spec):
+        store.put(spec, make_result())
+        path = store.path_for(spec)
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = STORE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        assert store.get(spec) is None
+        assert store.stats.quarantined == 1
+        assert not path.exists()
+
+    def test_quarantined_entries_do_not_count_as_stored(self, store, spec):
+        store.put(spec, make_result())
+        store.path_for(spec).write_text("garbage")
+        assert store.get(spec) is None
+        assert len(store) == 0
+
+    def test_repeated_corruption_keeps_all_evidence(self, store, spec):
+        for _ in range(2):
+            store.put(spec, make_result())
+            store.path_for(spec).write_text("garbage")
+            assert store.get(spec) is None
+        assert store.stats.quarantined == 2
+        assert len(list((store.root / "quarantine").iterdir())) == 2
+
+    def test_quarantine_failure_is_still_a_miss(self, store, spec, monkeypatch):
+        """A read-only quarantine dir must not break the campaign — the
+        entry still reads as a miss."""
+        store.put(spec, make_result())
+        store.path_for(spec).write_text("garbage")
+
+        def broken_replace(src, dst):
+            raise OSError("read-only filesystem")
+
+        monkeypatch.setattr("repro.exec.store.os.replace", broken_replace)
+        assert store.get(spec) is None
+        assert store.stats.invalid == 1
+        assert store.stats.quarantined == 0
