@@ -52,6 +52,7 @@ from repro.experiments import (
     table_2,
     table_3,
 )
+from repro.memo import LRUMemo, register_reset, reset_all
 from repro.leakage import (
     CacheGeometry,
     HotLeakage,
@@ -145,4 +146,7 @@ __all__ = [
     "table_2",
     "table_3",
     "clear_caches",
+    "LRUMemo",
+    "register_reset",
+    "reset_all",
 ]

@@ -45,6 +45,11 @@ QUICK_REPEATS = 3
 # (1 - tolerance) x the committed baseline's speedup.
 DEFAULT_TOLERANCE = 0.25
 
+# CI gate: the vectorised leakage kernels must stay at least this much
+# faster than the scalar reference loop (an absolute floor, not a
+# relative-to-baseline one — the ratio is machine-independent).
+BATCH_SPEEDUP_FLOOR = 10.0
+
 _N_OPS = 20_000  # the standard figure-point run length
 
 
@@ -254,6 +259,81 @@ def reference_comparison(*, repeats: int = 3, n_ops: int = _N_OPS) -> dict:
     }
 
 
+def batch_comparison(*, repeats: int = 5) -> dict:
+    """Vectorised batch leakage kernels vs. the scalar Python loop.
+
+    Two scenarios, each timed through the batch path and the scalar
+    reference path back to back in one process (so the ratio transfers
+    across machines):
+
+    * ``variation_mean`` — one variation-averaged 6T retention-leakage
+      evaluation (the 200-sample population that used to be a per-sample
+      Python loop);
+    * ``t_sweep_100`` — unit leakage over a dense 100-point temperature
+      grid (the Sultan-et-al. linearity-study axis).
+
+    Both paths agree to <=1e-12 relative (the golden equivalence matrix
+    asserts it); this measures only the speed gap.  CI gates each ratio
+    against the absolute :data:`BATCH_SPEEDUP_FLOOR`.
+    """
+    from repro.leakage import batch
+    from repro.leakage.bsim3 import leakage_vs_temperature
+    from repro.leakage.cells import SRAMCellModel
+    from repro.tech.nodes import PAPER_VDD, get_node
+    from repro.tech.variation import VariationSpec
+
+    node = get_node("70nm")
+    cell = SRAMCellModel(node=node)
+    variation = VariationSpec()
+    temps_k = [300.0 + 0.9 * i for i in range(100)]
+    perf_counter = time.perf_counter
+
+    def timed(fn) -> float:
+        fn()  # warmup (also warms the memoised sample population)
+        times = []
+        for _ in range(repeats):
+            t0 = perf_counter()
+            fn()
+            times.append(perf_counter() - t0)
+        return min(times)
+
+    scenarios: dict[str, dict] = {}
+
+    batch_s = timed(
+        lambda: cell.subthreshold_current(
+            vdd=PAPER_VDD, temp_k=383.0, variation=variation
+        )
+    )
+    scalar_s = timed(
+        lambda: cell.subthreshold_current(
+            vdd=PAPER_VDD, temp_k=383.0, variation=variation, reference=True
+        )
+    )
+    scenarios["variation_mean"] = {
+        "description": (
+            "variation-averaged 6T retention leakage, 200-sample "
+            "population (70nm, 383 K)"
+        ),
+        "batch_seconds": batch_s,
+        "scalar_seconds": scalar_s,
+        "speedup": scalar_s / batch_s,
+    }
+
+    batch_s = timed(
+        lambda: batch.leakage_vs_temperature(node, temps_k, vdd=PAPER_VDD)
+    )
+    scalar_s = timed(
+        lambda: leakage_vs_temperature(node, temps_k, vdd=PAPER_VDD)
+    )
+    scenarios["t_sweep_100"] = {
+        "description": "unit leakage over a 100-point temperature grid (70nm)",
+        "batch_seconds": batch_s,
+        "scalar_seconds": scalar_s,
+        "speedup": scalar_s / batch_s,
+    }
+    return scenarios
+
+
 def run_bench(
     *,
     quick: bool = False,
@@ -302,6 +382,11 @@ def run_bench(
         repeats=min(repeats, 3), n_ops=_N_OPS
     )
     say(f"  {report['reference']['speedup']:.2f}x over the reference path")
+
+    say("bench: batch leakage kernels (vectorised vs scalar loop) ...")
+    report["batch"] = batch_comparison(repeats=repeats)
+    for name, entry in report["batch"].items():
+        say(f"  {name}: {entry['speedup']:.1f}x over the scalar loop")
     return report
 
 
@@ -326,6 +411,21 @@ def check_regression(
             )
     elif base_ref and not cur_ref:
         failures.append("report is missing the reference comparison")
+
+    # The batch-kernel gate is absolute: vectorised leakage kernels must
+    # beat the scalar loop by BATCH_SPEEDUP_FLOOR regardless of baseline.
+    batch_entries = report.get("batch")
+    if batch_entries is None:
+        if baseline.get("batch"):
+            failures.append("report is missing the batch-kernel comparison")
+    else:
+        for name, entry in batch_entries.items():
+            speedup = entry.get("speedup")
+            if speedup is not None and speedup < BATCH_SPEEDUP_FLOOR:
+                failures.append(
+                    f"batch kernel {name}: {speedup:.1f}x < "
+                    f"{BATCH_SPEEDUP_FLOOR:.0f}x floor over the scalar loop"
+                )
     return failures
 
 

@@ -228,6 +228,9 @@ def _cmd_run(args) -> int:
 
 def _cmd_sweep(args) -> int:
     technique = technique_by_name(args.technique)
+    temps_c = (
+        tuple(float(t) for t in args.temps.split(",")) if args.temps else None
+    )
     results = interval_sweep(
         args.benchmark,
         technique,
@@ -235,9 +238,12 @@ def _cmd_sweep(args) -> int:
         temp_c=args.temp,
         n_ops=args.ops,
         scheduler=_make_scheduler(args),
+        temps_c=temps_c,
     )
+    with_temp = temps_c is not None
     rows = [
-        [
+        ([f"{r.temp_c:5.1f}"] if with_temp else [])
+        + [
             str(r.decay_interval),
             f"{r.net_savings_pct:7.2f}",
             f"{r.perf_loss_pct:6.2f}",
@@ -250,7 +256,8 @@ def _cmd_sweep(args) -> int:
     print(f"decay-interval sweep: {args.benchmark} / {technique.name}")
     print(
         render_table(
-            ["interval", "net sav %", "loss %", "turnoff", "induced", "slow"],
+            (["T (C)"] if with_temp else [])
+            + ["interval", "net sav %", "loss %", "turnoff", "induced", "slow"],
             rows,
         )
     )
@@ -460,6 +467,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("technique")
     sweep.add_argument("--l2", type=int, default=11)
     sweep.add_argument("--temp", type=float, default=85.0)
+    sweep.add_argument(
+        "--temps",
+        help="comma-separated temperature grid (C); expands each interval "
+        "across the grid via the batched analytic re-reduction",
+    )
     sweep.add_argument("--ops", type=int, default=20_000)
     _add_exec_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)

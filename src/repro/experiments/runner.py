@@ -514,18 +514,15 @@ def clear_baseline_cache() -> None:
 def clear_caches() -> None:
     """Drop every memoised analytic result (for tests and benchmarks).
 
-    Clears the baseline and leakage-model caches in this module plus the
-    analytic-layer memos underneath them: DC solves, k_design tables, and
-    residual fractions.
+    Clears the baseline and leakage-model caches in this module, then
+    resets the whole registered analytic memo layer — DC solves, k_design
+    tables and surface fits, residual fractions — through
+    :func:`repro.memo.reset_all`.
     """
-    from repro.circuits.library import clear_residual_memo
-    from repro.circuits.solver import clear_solve_memo
-    from repro.leakage.kdesign import clear_kdesign_memo
+    from repro.memo import reset_all
 
     _baseline_cached.cache_clear()
     _leakage_model_cached.cache_clear()
     _TRACE_MEMO.clear()
     _WARMUP_MEMO.clear()
-    clear_solve_memo()
-    clear_kdesign_memo()
-    clear_residual_memo()
+    reset_all()

@@ -36,6 +36,29 @@ def _spec_compatible(technique: TechniqueConfig) -> bool:
         return False
 
 
+def _expand_temperatures(
+    results: list[NetSavingsResult], temps_c: tuple[float, ...] | None
+) -> list[NetSavingsResult]:
+    """Expand each swept point across a temperature grid (batched).
+
+    Uses the vectorised analytic re-reduction
+    (:func:`repro.experiments.sensitivity.temperature_profile`), so an
+    N-point sweep over a T-point temperature grid costs N simulations and
+    one batched leakage-grid evaluation — not N x T simulations.  Results
+    are ordered point-major: all temperatures of the first swept point,
+    then the second, and so on.
+    """
+    if temps_c is None:
+        return results
+    from repro.experiments.sensitivity import temperature_profile
+
+    return [
+        expanded
+        for result in results
+        for expanded in temperature_profile(result, temps_c)
+    ]
+
+
 def interval_sweep(
     benchmark: str,
     technique: TechniqueConfig,
@@ -46,12 +69,17 @@ def interval_sweep(
     n_ops: int = DEFAULT_N_OPS,
     seed: int = DEFAULT_SEED,
     scheduler: Scheduler | None = None,
+    temps_c: tuple[float, ...] | None = None,
 ) -> list[NetSavingsResult]:
     """Net-savings results across the decay-interval grid.
 
     With a ``scheduler``, the grid is submitted as one batch (parallel,
     cached); without one — or for ablated techniques a
     :class:`RunSpec` cannot describe — each point runs in-process.
+
+    ``temps_c`` adds a temperature axis: each interval's result is
+    expanded across the grid by the batched analytic re-reduction (see
+    :func:`_expand_temperatures`; ordering is interval-major).
     """
     if scheduler is not None and _spec_compatible(technique):
         specs = [
@@ -66,19 +94,22 @@ def interval_sweep(
             )
             for interval in intervals
         ]
-        return scheduler.run(specs)
-    return [
-        figure_point(
-            benchmark,
-            technique,
-            l2_latency=l2_latency,
-            temp_c=temp_c,
-            decay_interval=interval,
-            n_ops=n_ops,
-            seed=seed,
-        )
-        for interval in intervals
-    ]
+        return _expand_temperatures(scheduler.run(specs), temps_c)
+    return _expand_temperatures(
+        [
+            figure_point(
+                benchmark,
+                technique,
+                l2_latency=l2_latency,
+                temp_c=temp_c,
+                decay_interval=interval,
+                n_ops=n_ops,
+                seed=seed,
+            )
+            for interval in intervals
+        ],
+        temps_c,
+    )
 
 
 @dataclass(frozen=True)
@@ -204,8 +235,14 @@ def l2_latency_sweep(
     n_ops: int = DEFAULT_N_OPS,
     seed: int = DEFAULT_SEED,
     scheduler: Scheduler | None = None,
+    temps_c: tuple[float, ...] | None = None,
 ) -> list[NetSavingsResult]:
-    """Net-savings results across the paper's L2-latency grid."""
+    """Net-savings results across the paper's L2-latency grid.
+
+    ``temps_c`` adds a temperature axis to the grid, expanded by the
+    batched analytic re-reduction (see :func:`_expand_temperatures`;
+    ordering is latency-major).
+    """
     kwargs = {} if decay_interval is None else {"decay_interval": decay_interval}
     if scheduler is not None and _spec_compatible(technique):
         specs = [
@@ -220,16 +257,51 @@ def l2_latency_sweep(
             )
             for latency in latencies
         ]
-        return scheduler.run(specs)
-    return [
-        figure_point(
-            benchmark,
-            technique,
-            l2_latency=latency,
-            temp_c=temp_c,
-            n_ops=n_ops,
-            seed=seed,
-            **kwargs,
-        )
-        for latency in latencies
-    ]
+        return _expand_temperatures(scheduler.run(specs), temps_c)
+    return _expand_temperatures(
+        [
+            figure_point(
+                benchmark,
+                technique,
+                l2_latency=latency,
+                temp_c=temp_c,
+                n_ops=n_ops,
+                seed=seed,
+                **kwargs,
+            )
+            for latency in latencies
+        ],
+        temps_c,
+    )
+
+
+def temperature_sweep(
+    benchmark: str,
+    technique: TechniqueConfig,
+    *,
+    temps_c: tuple[float, ...],
+    l2_latency: int = 11,
+    ref_temp_c: float = 110.0,
+    decay_interval: int | None = None,
+    n_ops: int = DEFAULT_N_OPS,
+    seed: int = DEFAULT_SEED,
+) -> list[NetSavingsResult]:
+    """Net-savings results across a dense temperature grid.
+
+    One simulation at ``ref_temp_c``, then the batched analytic
+    re-reduction across ``temps_c`` — a 100-point grid costs one run
+    plus a single vectorised leakage-grid evaluation.
+    """
+    kwargs = {} if decay_interval is None else {"decay_interval": decay_interval}
+    anchor = figure_point(
+        benchmark,
+        technique,
+        l2_latency=l2_latency,
+        temp_c=ref_temp_c,
+        n_ops=n_ops,
+        seed=seed,
+        **kwargs,
+    )
+    from repro.experiments.sensitivity import temperature_profile
+
+    return temperature_profile(anchor, temps_c)

@@ -10,9 +10,12 @@ Layers, bottom-up:
 * :mod:`repro.leakage.cells` — per-cell models (6T SRAM, logic cells);
 * :mod:`repro.leakage.structures` — caches and register files;
 * :mod:`repro.leakage.model` — the :class:`HotLeakage` facade with dynamic
-  (T, Vdd) recalculation.
+  (T, Vdd) recalculation;
+* :mod:`repro.leakage.batch` — vectorised NumPy kernels mirroring the
+  scalar reference for dense (T, Vdd, variation) grids.
 """
 
+from repro.leakage import batch
 from repro.leakage.bsim3 import (
     DeviceParams,
     device_subthreshold_current,
@@ -45,6 +48,7 @@ from repro.leakage.structures import (
 )
 
 __all__ = [
+    "batch",
     "unit_leakage",
     "device_subthreshold_current",
     "DeviceParams",

@@ -36,11 +36,30 @@ def varied_unit_leakage(
     pmos: bool,
     variation: VariationSpec | None,
     vth_shift: float = 0.0,
+    reference: bool = False,
 ) -> float:
-    """Unit leakage (A), averaged over inter-die variation when requested."""
+    """Unit leakage (A), averaged over inter-die variation when requested.
+
+    The sample population is evaluated through the vectorised batch
+    kernels (:mod:`repro.leakage.batch`) by default; ``reference=True``
+    runs the original per-sample Python loop instead — the bit-identical
+    reference the scalar-vs-batch equivalence tests compare against
+    (agreement is pinned at 1e-12 relative).
+    """
     if variation is None:
         return unit_leakage(
             node, vdd=vdd, temp_k=temp_k, pmos=pmos, vth_shift=vth_shift
+        )
+    if not reference:
+        from repro.leakage import batch
+
+        return batch.varied_unit_leakage(
+            node,
+            vdd=vdd,
+            temp_k=temp_k,
+            pmos=pmos,
+            variation=variation,
+            vth_shift=vth_shift,
         )
     vth0 = node.vth_p if pmos else node.vth_n
 
@@ -106,14 +125,31 @@ class SRAMCellModel:
         vdd: float,
         temp_k: float = ROOM_TEMP_K,
         variation: VariationSpec | None = None,
+        reference: bool = False,
     ) -> float:
-        """Retention subthreshold leakage (A) of one bit cell."""
+        """Retention subthreshold leakage (A) of one bit cell.
+
+        With ``variation``, the 200-sample population is evaluated through
+        the vectorised batch kernels by default; ``reference=True`` runs
+        the original per-sample Python loop (the bit-identical reference;
+        batch agreement is pinned at 1e-12 relative).
+        """
         if variation is None:
             return sram6t_leakage(
                 self.node,
                 vdd=vdd,
                 temp_k=temp_k,
                 access_vth_shift=self.access_vth_shift,
+            )
+        if not reference:
+            from repro.leakage import batch
+
+            return batch.sram_retention_leakage(
+                self.node,
+                vdd=vdd,
+                temp_k=temp_k,
+                access_vth_shift=self.access_vth_shift,
+                variation=variation,
             )
 
         def sample(length_m: float, tox_m: float, vdd_m: float, vth_m: float) -> float:

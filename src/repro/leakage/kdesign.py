@@ -36,7 +36,7 @@ from repro.circuits.library import STANDARD_CELLS
 from repro.circuits.netlist import Netlist
 from repro.circuits.solver import LeakageSolver
 from repro.leakage.bsim3 import unit_leakage
-from repro.memo import LRUMemo
+from repro.memo import LRUMemo, register_reset
 from repro.tech.constants import ROOM_TEMP_K, quantise_temp
 from repro.tech.nodes import TechnologyNode, get_node
 
@@ -225,3 +225,8 @@ def kdesign_surface(cell_name: str, node_name: str) -> KDesignSurface:
         ref_temp_k=ROOM_TEMP_K,
         ref_vdd=node.vdd0,
     )
+
+
+# The surface fit rides on top of the k_design memo; a reset_all() that
+# cleared one but not the other would leave stale fits pinned.
+register_reset(kdesign_surface.cache_clear)

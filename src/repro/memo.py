@@ -8,12 +8,49 @@ use (``get`` / ``__setitem__`` / ``clear``) while evicting the
 least-recently-*used* entry once ``maxsize`` is reached.  Every memoised
 computation is a pure function of its key, so an eviction can only cost a
 recompute, never change a result — the golden-equivalence tests pin that.
+
+Every :class:`LRUMemo` self-registers (weakly) at construction, so
+:func:`reset_all` clears the whole analytic memo layer — the DC-solve,
+``k_design``, and residual-fraction memos, plus any auxiliary caches
+modules attach via :func:`register_reset` — in one call, without each
+caller having to know which modules own which memo.
 """
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable
+
+_MEMOS: weakref.WeakSet = weakref.WeakSet()
+_AUX_RESETS: list[Callable[[], None]] = []
+
+
+def register_reset(fn: Callable[[], None]) -> Callable[[], None]:
+    """Attach an auxiliary cache-clear callable to :func:`reset_all`.
+
+    For caches that are not :class:`LRUMemo` instances (e.g. an
+    ``functools.lru_cache`` wrapper's ``cache_clear``).  Returns ``fn`` so
+    it can be used inline.  Registration is idempotent by identity.
+    """
+    if fn not in _AUX_RESETS:
+        _AUX_RESETS.append(fn)
+    return fn
+
+
+def reset_all() -> None:
+    """Clear every registered memo and auxiliary cache.
+
+    One switch for the whole analytic layer: the solver's DC-solve memo,
+    the ``k_design`` memo (and its surface-fit cache), and the residual-
+    fraction memo all empty after this call — the memo-reset tests assert
+    it.  Eviction counters are left alone; they are diagnostics, not
+    state.
+    """
+    for memo in list(_MEMOS):
+        memo.clear()
+    for fn in _AUX_RESETS:
+        fn()
 
 
 class LRUMemo:
@@ -25,7 +62,7 @@ class LRUMemo:
             are small and the cap only exists to bound long campaigns).
     """
 
-    __slots__ = ("maxsize", "evictions", "_data")
+    __slots__ = ("maxsize", "evictions", "_data", "__weakref__")
 
     def __init__(self, maxsize: int) -> None:
         if maxsize < 1:
@@ -33,6 +70,7 @@ class LRUMemo:
         self.maxsize = maxsize
         self.evictions = 0
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        _MEMOS.add(self)
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         data = self._data

@@ -53,14 +53,48 @@ PAPER_70NM_VARIATION = VariationSpec()
 """The paper's quoted 70 nm inter-die variation setting."""
 
 
+GEOMETRY_MULT_FLOOR = 0.05
+"""Positive floor for the geometry multipliers (length, tox).
+
+Only guards against a non-physical zero/negative dimension; under the
+paper's sigmas a 200-sample draw never comes near it.
+"""
+
+VDD_MULT_BAND = (0.5, 1.5)
+"""Physical band for the supply-voltage multiplier.
+
+A die's supply is regulated: even a worst-case process/IR-drop corner
+stays within tens of percent of nominal, nowhere near the 5 %-of-nominal
+sample a bare positive floor admits.  Leakage is exponential-ish in Vdd
+through DIBL, so one such pathological sample would dominate the
+population mean and corrupt the variation-averaged leakage.  +/-50 % is
+deliberately generous — far outside any datasheet corner — so clipping
+never touches a physically plausible draw.
+"""
+
+VTH_MULT_BAND = (0.5, 1.5)
+"""Physical band for the threshold-voltage multiplier.
+
+Same reasoning as :data:`VDD_MULT_BAND` with the sign flipped: leakage is
+exponential in -Vth, so a near-zero-Vth tail sample (multiplier ~0.05)
+would single-handedly dominate the mean.  Inter-die Vth shifts beyond
++/-50 % of nominal are not a plausible process corner.
+"""
+
+
 @dataclass
 class ParameterSampler:
     """Draws correlated-per-die multiplier samples for the varied parameters.
 
     Inter-die variation shifts every device on a die equally, so one sample
     per die suffices: a multiplier for each of (length, tox, vdd, vth).
-    Multipliers are clipped at a small positive floor so that a pathological
-    tail draw cannot produce a non-physical (zero or negative) parameter.
+    Geometry multipliers are clipped at a small positive floor
+    (:data:`GEOMETRY_MULT_FLOOR`); the electrically sensitive vdd/vth
+    multipliers are clipped to documented physical bands
+    (:data:`VDD_MULT_BAND`, :data:`VTH_MULT_BAND`) because leakage is
+    exponential in both and a single pathological tail draw would dominate
+    the population mean.  Under the paper's default sigmas no clip ever
+    binds, so the default population is unchanged.
     """
 
     spec: VariationSpec = field(default_factory=VariationSpec)
@@ -72,10 +106,17 @@ class ParameterSampler:
         """
         rng = np.random.default_rng(self.spec.seed)
         sigmas = self.spec.sigmas()
+        bands = {
+            "length": (GEOMETRY_MULT_FLOOR, None),
+            "tox": (GEOMETRY_MULT_FLOOR, None),
+            "vdd": VDD_MULT_BAND,
+            "vth": VTH_MULT_BAND,
+        }
         cols = []
         for key in ("length", "tox", "vdd", "vth"):
             samples = rng.normal(1.0, sigmas[key], size=self.spec.samples)
-            cols.append(np.clip(samples, 0.05, None))
+            lo, hi = bands[key]
+            cols.append(np.clip(samples, lo, hi))
         return np.stack(cols, axis=1)
 
 

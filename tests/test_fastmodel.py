@@ -73,13 +73,18 @@ class TestFastEngine:
         # rather than who pays the one-off trace/warmup construction.
         run_once("mcf", technique=None, machine=machine, engine="fast")
         run_once("mcf", technique=None, machine=machine)
-        t0 = time.time()
-        run_once("mcf", technique=None, machine=machine, engine="fast")
-        fast_s = time.time() - t0
-        t0 = time.time()
-        run_once("mcf", technique=None, machine=machine)
-        slow_s = time.time() - t0
-        assert fast_s < slow_s
+
+        # Min-of-3 per engine: scheduling noise on a loaded machine only
+        # ever adds time, and a single-shot comparison flakes under load.
+        def timed(**kwargs) -> float:
+            best = float("inf")
+            for _ in range(3):
+                t0 = time.perf_counter()
+                run_once("mcf", technique=None, machine=machine, **kwargs)
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        assert timed(engine="fast") < timed()
 
 
 class TestCrossValidation:

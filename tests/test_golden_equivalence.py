@@ -183,3 +183,130 @@ class TestExecStoreHashStability:
         assert spec.content_hash() == (
             "8a50ebc2b76372a3373d436ce7bfb9bd68b24e6ca062ced63b7d2e7c0b533949"
         )
+
+
+class TestScalarBatchEquivalenceMatrix:
+    """The vectorised batch kernels vs the scalar reference, exhaustively.
+
+    Every technology node x device polarity x {room, warm, hot} x
+    nominal/varied parameters, pinned to <= 1e-12 relative error.  The
+    scalar path is the bit-identical reference; the batch path mirrors its
+    exact formulation (same `1 - exp(-x)` form, same operation order per
+    element), so the only admissible difference is the population-mean
+    summation order under variation.
+    """
+
+    NODES = ("180nm", "130nm", "100nm", "70nm")
+    TEMPS_K = (300.0, 353.0, 383.0)
+    RTOL = 1e-12
+
+    @pytest.mark.parametrize("node_name", NODES)
+    @pytest.mark.parametrize("pmos", [False, True])
+    @pytest.mark.parametrize("temp_k", TEMPS_K)
+    def test_nominal_unit_leakage(self, node_name, pmos, temp_k):
+        from repro.leakage import batch
+        from repro.leakage.bsim3 import unit_leakage
+        from repro.tech.nodes import get_node
+
+        node = get_node(node_name)
+        scalar = unit_leakage(node, vdd=0.9, temp_k=temp_k, pmos=pmos)
+        vec = float(
+            batch.unit_leakage(node, vdd=0.9, temp_k=temp_k, pmos=pmos)
+        )
+        assert vec == pytest.approx(scalar, rel=self.RTOL)
+
+    @pytest.mark.parametrize("node_name", NODES)
+    @pytest.mark.parametrize("pmos", [False, True])
+    @pytest.mark.parametrize("temp_k", TEMPS_K)
+    def test_varied_unit_leakage(self, node_name, pmos, temp_k):
+        from repro.leakage import batch
+        from repro.leakage.cells import varied_unit_leakage
+        from repro.tech.nodes import get_node
+        from repro.tech.variation import VariationSpec
+
+        node = get_node(node_name)
+        spec = VariationSpec()
+        scalar = varied_unit_leakage(
+            node, vdd=0.9, temp_k=temp_k, pmos=pmos, variation=spec,
+            reference=True,
+        )
+        vec = batch.varied_unit_leakage(
+            node, vdd=0.9, temp_k=temp_k, pmos=pmos, variation=spec
+        )
+        assert vec == pytest.approx(scalar, rel=self.RTOL)
+
+    @pytest.mark.parametrize("node_name", NODES)
+    @pytest.mark.parametrize("temp_k", TEMPS_K)
+    def test_nominal_sram_cell(self, node_name, temp_k):
+        from repro.circuits.library import sram6t_leakage
+        from repro.leakage import batch
+        from repro.tech.nodes import get_node
+
+        node = get_node(node_name)
+        scalar = sram6t_leakage(node, vdd=0.9, temp_k=temp_k)
+        vec = float(batch.sram6t_leakage(node, vdd=0.9, temp_k=temp_k))
+        assert vec == pytest.approx(scalar, rel=self.RTOL)
+
+    @pytest.mark.parametrize("node_name", NODES)
+    @pytest.mark.parametrize("temp_k", TEMPS_K)
+    def test_varied_sram_cell(self, node_name, temp_k):
+        from repro.leakage import batch
+        from repro.leakage.cells import SRAMCellModel
+        from repro.tech.nodes import get_node
+        from repro.tech.variation import VariationSpec
+
+        node = get_node(node_name)
+        spec = VariationSpec()
+        cell = SRAMCellModel(node=node)
+        scalar = cell.subthreshold_current(
+            vdd=0.9, temp_k=temp_k, variation=spec, reference=True
+        )
+        vec = batch.sram_retention_leakage(
+            node, vdd=0.9, temp_k=temp_k, variation=spec
+        )
+        assert vec == pytest.approx(scalar, rel=self.RTOL)
+
+    @pytest.mark.parametrize("node_name", NODES)
+    @pytest.mark.parametrize("temp_k", TEMPS_K)
+    def test_gate_leakage(self, node_name, temp_k):
+        from repro.leakage import batch
+        from repro.leakage.gate import transistor_gate_leakage
+        from repro.tech.nodes import get_node
+
+        node = get_node(node_name)
+        scalar = transistor_gate_leakage(
+            node, w_over_l=2.0, vdd=0.9, temp_k=temp_k
+        )
+        vec = float(
+            batch.transistor_gate_leakage(
+                node, w_over_l=2.0, vdd=0.9, temp_k=temp_k
+            )
+        )
+        assert vec == pytest.approx(scalar, rel=self.RTOL, abs=1e-30)
+
+    @pytest.mark.parametrize("node_name", NODES)
+    def test_gidl(self, node_name):
+        from repro.leakage import batch
+        from repro.leakage.gate import gidl_multiplier
+        from repro.tech.nodes import get_node
+
+        node = get_node(node_name)
+        for rbb in (0.0, 0.15, 0.4):
+            scalar = gidl_multiplier(node, rbb)
+            vec = float(batch.gidl_multiplier(node, rbb))
+            assert vec == pytest.approx(scalar, rel=self.RTOL)
+
+    def test_grid_matches_pointwise_scalar(self):
+        """The 2-D grid evaluator agrees with per-point scalar calls."""
+        from repro.leakage import batch
+        from repro.leakage.bsim3 import unit_leakage
+        from repro.tech.nodes import get_node
+
+        node = get_node("70nm")
+        temps = [300.0, 353.0, 383.0]
+        vdds = [0.7, 0.9, 1.0]
+        grid = batch.unit_leakage_grid(node, temps_k=temps, vdds=vdds)
+        for i, t in enumerate(temps):
+            for j, v in enumerate(vdds):
+                scalar = unit_leakage(node, vdd=v, temp_k=t)
+                assert grid[i, j] == pytest.approx(scalar, rel=1e-12)

@@ -279,6 +279,61 @@ class TestLRUMemo:
             assert memo.maxsize >= 256
 
 
+class TestResetAll:
+    def test_reset_all_empties_every_analytic_memo(self):
+        """One switch clears the solver, kdesign, and residual memos (and
+        the kdesign surface-fit cache riding on them) together."""
+        from repro.circuits.library import _RESIDUAL_MEMO
+        from repro.circuits.solver import _SOLVE_MEMO
+        from repro.leakage.kdesign import _KDESIGN_MEMO, kdesign_surface
+        from repro.memo import reset_all
+
+        # Populate all three layers through their public entry point.
+        kdesign_surface("nand2", "70nm")
+        assert len(_SOLVE_MEMO) > 0
+        assert len(_KDESIGN_MEMO) > 0
+        assert kdesign_surface.cache_info().currsize > 0
+        _RESIDUAL_MEMO["probe"] = 1.0
+        assert len(_RESIDUAL_MEMO) > 0
+
+        reset_all()
+        assert len(_SOLVE_MEMO) == 0
+        assert len(_KDESIGN_MEMO) == 0
+        assert len(_RESIDUAL_MEMO) == 0
+        assert kdesign_surface.cache_info().currsize == 0
+
+    def test_new_memos_register_automatically(self):
+        from repro.memo import reset_all
+
+        memo = LRUMemo(maxsize=4)
+        memo["k"] = "v"
+        reset_all()
+        assert len(memo) == 0
+
+    def test_register_reset_runs_auxiliary_callable(self):
+        from repro.memo import register_reset, reset_all
+
+        calls = []
+        fn = lambda: calls.append(1)  # noqa: E731
+        register_reset(fn)
+        register_reset(fn)  # idempotent by identity
+        reset_all()
+        assert calls == [1]
+
+    def test_clear_caches_routes_through_reset_all(self):
+        """runner.clear_caches must leave the analytic layer fully empty."""
+        from repro.circuits.solver import _SOLVE_MEMO
+        from repro.experiments.runner import clear_caches
+        from repro.leakage.kdesign import _KDESIGN_MEMO, kdesign_surface
+
+        kdesign_surface("nand2", "70nm")
+        assert len(_SOLVE_MEMO) > 0
+        clear_caches()
+        assert len(_SOLVE_MEMO) == 0
+        assert len(_KDESIGN_MEMO) == 0
+        assert kdesign_surface.cache_info().currsize == 0
+
+
 class TestCampaignEventLog:
     def test_fresh_reproduce_writes_trace_with_runs_and_hits(self, tmp_path):
         """Acceptance: ``repro trace`` on a fresh campaign shows per-run

@@ -320,3 +320,138 @@ def test_tracefile_roundtrip_arbitrary_ops(tmp_path_factory, ops_spec):
     path = tmp_path_factory.mktemp("traces") / "prop.trace"
     write_trace(path, ops)
     assert list(read_trace(path)) == ops
+
+
+# ---------------------------------------------------------------------------
+# Batch leakage kernels: physics invariants + scalar agreement
+# ---------------------------------------------------------------------------
+
+# derandomize=True fixes hypothesis's example stream (no RNG state, no
+# example database), so CI runs are deterministic; deadline=None because
+# the first example pays the NumPy warmup cost.
+BATCH_SETTINGS = settings(max_examples=60, deadline=None, derandomize=True)
+
+
+@BATCH_SETTINGS
+@given(
+    t1=st.floats(min_value=260.0, max_value=420.0),
+    dt=st.floats(min_value=0.5, max_value=80.0),
+    vdd=st.floats(min_value=0.5, max_value=1.2),
+)
+def test_batch_leakage_strictly_increases_with_temperature(t1, dt, vdd):
+    from repro.leakage import batch
+
+    lo = batch.unit_leakage(NODE, vdd=vdd, temp_k=t1)
+    hi = batch.unit_leakage(NODE, vdd=vdd, temp_k=t1 + dt)
+    assert float(hi) > float(lo)
+
+
+@BATCH_SETTINGS
+@given(
+    v1=st.floats(min_value=0.3, max_value=1.1),
+    dv=st.floats(min_value=0.005, max_value=0.4),
+    temp=st.floats(min_value=280.0, max_value=400.0),
+)
+def test_batch_leakage_strictly_increases_with_vdd(v1, dv, temp):
+    from repro.leakage import batch
+
+    lo = batch.unit_leakage(NODE, vdd=v1, temp_k=temp)
+    hi = batch.unit_leakage(NODE, vdd=v1 + dv, temp_k=temp)
+    assert float(hi) > float(lo)
+
+
+@BATCH_SETTINGS
+@given(
+    shift=st.floats(min_value=0.005, max_value=0.2),
+    temp=st.floats(min_value=280.0, max_value=400.0),
+)
+def test_batch_leakage_strictly_decreases_with_vth_magnitude(shift, temp):
+    from repro.leakage import batch
+
+    nominal = batch.unit_leakage(NODE, vdd=0.9, temp_k=temp)
+    raised = batch.unit_leakage(NODE, vdd=0.9, temp_k=temp, vth_shift=shift)
+    assert float(raised) < float(nominal)
+
+
+@BATCH_SETTINGS
+@given(
+    temp=st.floats(min_value=280.0, max_value=400.0),
+    vdd=st.floats(min_value=0.6, max_value=1.1),
+    pmos=st.booleans(),
+)
+def test_variation_average_at_least_nominal(temp, vdd, pmos):
+    """Convexity: averaging leakage over the Gaussian population can only
+    raise it above the nominal point (paper Section 3.3's entire point)."""
+    from repro.leakage import batch
+    from repro.tech.variation import VariationSpec
+
+    varied = batch.varied_unit_leakage(
+        NODE, vdd=vdd, temp_k=temp, pmos=pmos, variation=VariationSpec()
+    )
+    nominal = unit_leakage(NODE, vdd=vdd, temp_k=temp, pmos=pmos)
+    assert varied >= nominal
+
+
+@BATCH_SETTINGS
+@given(
+    temps=st.lists(
+        st.floats(min_value=260.0, max_value=420.0), min_size=1, max_size=20
+    ),
+    vdd=st.floats(min_value=0.3, max_value=1.2),
+    pmos=st.booleans(),
+    shift=st.floats(min_value=-0.05, max_value=0.2),
+)
+def test_batch_matches_scalar_on_random_vectors(temps, vdd, pmos, shift):
+    """The core tentpole guarantee: batch == scalar to <= 1e-12 relative on
+    arbitrary parameter vectors, not just the curated golden matrix."""
+    import numpy as np
+
+    from repro.leakage import batch
+
+    got = batch.unit_leakage(
+        NODE,
+        vdd=vdd,
+        temp_k=np.array(temps),
+        pmos=pmos,
+        vth_shift=shift,
+    )
+    want = np.array(
+        [
+            unit_leakage(NODE, vdd=vdd, temp_k=t, pmos=pmos, vth_shift=shift)
+            for t in temps
+        ]
+    )
+    np.testing.assert_allclose(got, want, rtol=1e-12)
+
+
+@BATCH_SETTINGS
+@given(
+    vgs=st.floats(min_value=0.0, max_value=0.3),
+    vds=st.floats(min_value=0.0, max_value=1.2),
+    temp=st.floats(min_value=260.0, max_value=420.0),
+    length_mult=st.floats(min_value=0.5, max_value=2.0),
+    tox_mult=st.floats(min_value=0.7, max_value=1.3),
+)
+def test_batch_device_current_matches_scalar(
+    vgs, vds, temp, length_mult, tox_mult
+):
+    """Full-argument scalar agreement, including the tiny-vds regime where
+    a formulation difference (expm1 vs 1-exp) would show up first."""
+    from repro.leakage import batch
+    from repro.leakage.bsim3 import DeviceParams, device_subthreshold_current
+
+    dev = DeviceParams(
+        node=NODE, length_mult=length_mult, tox_mult=tox_mult
+    )
+    scalar = device_subthreshold_current(dev, vgs=vgs, vds=vds, temp_k=temp)
+    vec = float(
+        batch.device_subthreshold_current(
+            NODE,
+            vgs=vgs,
+            vds=vds,
+            temp_k=temp,
+            length_mult=length_mult,
+            tox_mult=tox_mult,
+        )
+    )
+    assert vec == pytest.approx(scalar, rel=1e-12, abs=1e-300)

@@ -161,6 +161,53 @@ class TestVariation:
         mean = mean_leakage_with_variation(lambda a, b, c, d: 3.0)
         assert mean == pytest.approx(3.0)
 
+    def test_vdd_vth_multipliers_clipped_to_physical_band(self):
+        """Regression: a wide-sigma spec used to admit ~0.05x Vdd/Vth tail
+        samples whose exponential leakage dominated the population mean.
+        Both multipliers are now clipped to a documented physical band."""
+        from repro.tech.variation import VDD_MULT_BAND, VTH_MULT_BAND
+
+        # Adversarial: 3-sigma of 300 % guarantees raw Gaussian draws far
+        # outside (and below zero of) any physical range.
+        spec = VariationSpec(
+            vdd_3sigma=3.0, vth_3sigma=3.0, samples=2000, seed=12345
+        )
+        draws = ParameterSampler(spec).draw()
+        vdd_m, vth_m = draws[:, 2], draws[:, 3]
+        assert vdd_m.min() >= VDD_MULT_BAND[0]
+        assert vdd_m.max() <= VDD_MULT_BAND[1]
+        assert vth_m.min() >= VTH_MULT_BAND[0]
+        assert vth_m.max() <= VTH_MULT_BAND[1]
+        # The raw draws really would have escaped the band.
+        rng = np.random.default_rng(spec.seed)
+        sigmas = spec.sigmas()
+        rng.normal(1.0, sigmas["length"], size=spec.samples)
+        rng.normal(1.0, sigmas["tox"], size=spec.samples)
+        raw_vdd = rng.normal(1.0, sigmas["vdd"], size=spec.samples)
+        assert raw_vdd.min() < 0.0
+
+    def test_adversarial_spec_mean_not_dominated_by_tail(self):
+        """With the band in place, an exponential leakage function stays
+        finite and sane even under an absurdly wide Vth sigma."""
+        spec = VariationSpec(vth_3sigma=3.0, samples=500, seed=99)
+
+        def leakage(length_m, tox_m, vdd_m, vth_m):
+            # exp(-20 * (vth - 1)): a 0.05x tail sample would contribute
+            # e^19 ~ 1.8e8 and swamp the mean; the 0.5 band floor caps the
+            # single-sample contribution at e^10.
+            return math.exp(-20.0 * (vth_m - 1.0))
+
+        mean = mean_leakage_with_variation(leakage, spec)
+        assert math.isfinite(mean)
+        assert mean <= math.exp(20.0 * 0.5)
+
+    def test_default_spec_unaffected_by_band_clipping(self):
+        """Under the paper's sigmas no clip binds: the band exists for
+        adversarial specs, not to change the default population."""
+        draws = ParameterSampler(VariationSpec()).draw()
+        assert draws[:, 2].min() > 0.5 and draws[:, 2].max() < 1.5
+        assert draws[:, 3].min() > 0.5 and draws[:, 3].max() < 1.5
+
 
 class TestIntraDieVariation:
     """The paper's declared future work: within-die mismatch (Sec. 3.3)."""
