@@ -50,6 +50,11 @@ DEFAULT_TOLERANCE = 0.25
 # relative-to-baseline one — the ratio is machine-independent).
 BATCH_SPEEDUP_FLOOR = 10.0
 
+# CI gate: enabling observability (telemetry recorders included) may slow
+# a simulation run by at most this fraction.  Absolute, like the batch
+# floor — the enabled/disabled ratio transfers across machines.
+OBS_OVERHEAD_CEILING = 0.03
+
 _N_OPS = 20_000  # the standard figure-point run length
 
 
@@ -334,6 +339,55 @@ def batch_comparison(*, repeats: int = 5) -> dict:
     return scenarios
 
 
+def obs_overhead_comparison(*, repeats: int = 3, n_ops: int = _N_OPS) -> dict:
+    """Simulation run with observability on vs. off, in one process.
+
+    The enabled leg pays for everything a campaign pays for: counters,
+    spans, AND the per-run timeseries recorders (line-state sampling in
+    the decay tick, windowed IPC in the pipeline loop).  No log file is
+    attached — file I/O is per-campaign, not per-cycle, so it is not part
+    of the hot-path overhead this guards.  The two legs are interleaved
+    so drift (thermal, scheduler) hits both equally; min-of-N per leg.
+    CI gates ``overhead_frac`` against :data:`OBS_OVERHEAD_CEILING`.
+    """
+    from repro import obs
+    from repro.cpu.config import MachineConfig
+    from repro.experiments.runner import run_once, technique_by_name
+
+    machine = MachineConfig().with_l2_latency(17)
+    technique = technique_by_name("gated-vss")
+    perf_counter = time.perf_counter
+
+    def one(enabled: bool) -> float:
+        if enabled:
+            obs.enable()
+        try:
+            t0 = perf_counter()
+            run_once(
+                "mcf", technique=technique, machine=machine, n_ops=n_ops
+            )
+            return perf_counter() - t0
+        finally:
+            if enabled:
+                obs.reset()
+
+    one(False)
+    one(True)  # warm both paths
+    disabled_times, enabled_times = [], []
+    for _ in range(repeats):
+        disabled_times.append(one(False))
+        enabled_times.append(one(True))
+    disabled = min(disabled_times)
+    enabled = min(enabled_times)
+    return {
+        "scenario": "run_once mcf/gated-vss L2=17",
+        "n_ops": n_ops,
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "overhead_frac": enabled / disabled - 1.0,
+    }
+
+
 def run_bench(
     *,
     quick: bool = False,
@@ -387,6 +441,10 @@ def run_bench(
     report["batch"] = batch_comparison(repeats=repeats)
     for name, entry in report["batch"].items():
         say(f"  {name}: {entry['speedup']:.1f}x over the scalar loop")
+
+    say("bench: observability overhead (telemetry on vs off) ...")
+    report["obs_overhead"] = obs_overhead_comparison(repeats=min(repeats, 3))
+    say(f"  {report['obs_overhead']['overhead_frac'] * 100.0:+.2f}% with telemetry enabled")
     return report
 
 
@@ -426,6 +484,16 @@ def check_regression(
                     f"batch kernel {name}: {speedup:.1f}x < "
                     f"{BATCH_SPEEDUP_FLOOR:.0f}x floor over the scalar loop"
                 )
+
+    # The observability gate is absolute too, and only applies when the
+    # report measured it (older baselines/reports simply lack the key).
+    overhead = (report.get("obs_overhead") or {}).get("overhead_frac")
+    if overhead is not None and overhead > OBS_OVERHEAD_CEILING:
+        failures.append(
+            f"observability overhead {overhead:.1%} exceeds the "
+            f"{OBS_OVERHEAD_CEILING:.0%} ceiling (telemetry must stay off "
+            f"the disabled hot path)"
+        )
     return failures
 
 

@@ -397,10 +397,10 @@ def _cmd_reproduce(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    from repro.obs.views import load_campaign_events, render_trace
+    from repro.obs.views import iter_campaign_events, render_trace
 
     try:
-        events = load_campaign_events(args.campaign)
+        events = iter_campaign_events(args.campaign)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -409,14 +409,52 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_stats(args) -> int:
-    from repro.obs.views import aggregate, load_campaign_events, render_stats
+    from repro.obs.views import aggregate, iter_campaign_events, render_stats
 
     try:
-        events = load_campaign_events(args.campaign)
+        events = iter_campaign_events(args.campaign)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(render_stats(aggregate(events)))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    import os
+
+    from repro.obs.report import build_report
+
+    try:
+        html = build_report(args.campaign)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    output = args.output
+    if output is None:
+        campaign = args.campaign
+        output = (
+            os.path.join(campaign, "report.html")
+            if os.path.isdir(campaign)
+            else os.path.join(os.path.dirname(campaign) or ".", "report.html")
+        )
+    with open(output, "w", encoding="utf-8") as fh:
+        fh.write(html)
+    print(f"report written to {output}")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.obs.diff import diff_campaigns, render_diff
+
+    try:
+        diff = diff_campaigns(args.campaign_a, args.campaign_b)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_diff(diff, threshold=args.threshold))
+    if args.fail_on_regression and diff.has_regressions(args.threshold):
+        return 1
     return 0
 
 
@@ -520,6 +558,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="campaign output directory (or an events.jsonl path directly)",
     )
     stats.set_defaults(func=_cmd_stats)
+
+    report = sub.add_parser(
+        "report",
+        help="render a campaign as one self-contained HTML report",
+    )
+    report.add_argument(
+        "campaign",
+        help="campaign output directory (or an events.jsonl path directly)",
+    )
+    report.add_argument(
+        "--output", default=None,
+        help="HTML output path (default: <campaign>/report.html)",
+    )
+    report.set_defaults(func=_cmd_report)
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare two campaigns aligned by spec hash",
+    )
+    diff.add_argument("campaign_a", help="baseline campaign directory")
+    diff.add_argument("campaign_b", help="candidate campaign directory")
+    diff.add_argument(
+        "--threshold", type=_positive_float, default=0.10,
+        help="fractional increase flagged as a regression (default 0.10)",
+    )
+    diff.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit non-zero when any regression is flagged",
+    )
+    diff.set_defaults(func=_cmd_diff)
 
     bench = sub.add_parser(
         "bench", help="time the simulation hot path and write BENCH.json"

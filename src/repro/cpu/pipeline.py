@@ -39,6 +39,9 @@ from repro.power.wattch import EnergyAccountant
 
 _FETCH_QUEUE_DEPTH = 16
 
+IPC_WINDOW = 1024
+"""Cycles per IPC sample when a timeseries recorder is attached."""
+
 
 @dataclass(slots=True)
 class _Entry:
@@ -149,6 +152,9 @@ class Pipeline:
             entries=config.btb_entries, assoc=config.btb_assoc
         )
         self.stats = RunStats()
+        # Optional bounded time-series telemetry: assign a RunRecorder
+        # before run() to get windowed IPC as the "cpu.ipc" series.
+        self.recorder = None
 
     # ------------------------------------------------------------------
 
@@ -233,6 +239,21 @@ class Pipeline:
         # it the float summation order of the energy report — exactly what
         # per-event add() calls would produce.
         counts = self.accountant.counts
+
+        # Windowed-IPC telemetry.  While no recorder is attached the
+        # sentinel keeps the per-cycle cost to one integer compare; the
+        # final partial window (< IPC_WINDOW cycles) is dropped.  Commits
+        # landing on the cycle that ends a multi-window clock skip are
+        # attributed to the first window the skip crossed; the later
+        # crossed windows record 0 (they were provably idle).
+        ipc_series = None
+        ts_next = 2**63
+        ts_prev_committed = 0
+        if self.recorder is not None:
+            ipc_series = self.recorder.series(
+                "cpu.ipc", kind="mean", base_window=IPC_WINDOW
+            )
+            ts_next = IPC_WINDOW
 
         while True:
             if trace_done and not fetch_queue and not ruu and not completions:
@@ -439,6 +460,13 @@ class Pipeline:
             cycles_acct += 1
             issued_acct += issued_now
             cycle += 1
+            if cycle >= ts_next:
+                while cycle >= ts_next:
+                    ipc_series.append(
+                        (committed_total - ts_prev_committed) / IPC_WINDOW
+                    )
+                    ts_prev_committed = committed_total
+                    ts_next += IPC_WINDOW
             if popped or committed_now or issued_now or dispatched or fetch_open:
                 continue
 

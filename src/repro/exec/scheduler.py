@@ -34,6 +34,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Sequence
 
 from repro import obs as _obs
+from repro.obs import timeseries as _ts
 from repro.exec.metrics import ExecutionMetrics
 from repro.exec.spec import RunSpec
 from repro.exec.store import ResultStore
@@ -62,7 +63,11 @@ def execute_spec_observed(spec: RunSpec) -> tuple[NetSavingsResult, dict]:
     ``meta`` carries the worker pid, wall and CPU seconds, and the
     worker's peak RSS in kB — measured *in the worker* and shipped back
     with the result, so the coordinating process can log it without any
-    cross-process event plumbing.  The execution itself is untouched.
+    cross-process event plumbing.  If the run published a time-series
+    recorder (see :mod:`repro.obs.timeseries`), its serialised payload
+    rides along under ``meta["timeseries"]`` — in the metadata, never in
+    the result, so results stay bit-identical with obs on or off.  The
+    execution itself is untouched.
     """
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
@@ -77,6 +82,9 @@ def execute_spec_observed(spec: RunSpec) -> tuple[NetSavingsResult, dict]:
             else 0.0
         ),
     }
+    recorder = _ts.take_published()
+    if recorder is not None and len(recorder):
+        meta["timeseries"] = recorder.to_payload()
     return result, meta
 
 
@@ -288,6 +296,9 @@ class Scheduler:
                     _obs.emit("run_failed", spec=key, slot=i, error=repr(exc))
                 continue
             if observed:
+                series = meta.pop("timeseries", None)
+                if series:
+                    _obs.emit_series(spec=key, payload=series)
                 _obs.emit("run_finished", spec=key, slot=i, **meta)
             self._commit(specs[i], result, results, i)
             if len(todo) > 1 and (n % step == 0 or n == len(todo)):
@@ -358,12 +369,11 @@ class Scheduler:
                         continue
                     if observed:
                         result, meta = value
-                        _obs.emit(
-                            "run_finished",
-                            spec=specs[i].content_hash(),
-                            slot=i,
-                            **meta,
-                        )
+                        series = meta.pop("timeseries", None)
+                        key = specs[i].content_hash()
+                        if series:
+                            _obs.emit_series(spec=key, payload=series)
+                        _obs.emit("run_finished", spec=key, slot=i, **meta)
                     else:
                         result = value
                     self._commit(specs[i], result, results, i)

@@ -38,6 +38,8 @@ from repro.leakctl.base import (
 )
 from repro.leakctl.controlled import ControlledCache, StandbyStats
 from repro.leakctl.energy import NetSavingsResult, net_savings
+from repro.obs.timeseries import RunRecorder
+from repro.obs import timeseries as _ts
 from repro.power.wattch import EnergyAccountant, default_power_config
 from repro.tech.nodes import PAPER_FREQUENCY_HZ, PAPER_VDD
 from repro.workloads.generator import TraceGenerator
@@ -100,6 +102,7 @@ class RunOutput:
     hierarchy: MemoryHierarchy
     standby: StandbyStats | None = None
     controlled: ControlledCache | None = None
+    recorder: RunRecorder | None = None
 
 
 # Memoised post-warmup machine state.  The functional warmup is a pure
@@ -321,6 +324,14 @@ def run_once(
         pipeline = FastPipeline(machine, hierarchy, accountant)
     else:
         pipeline = Pipeline(machine, hierarchy, accountant, reference=reference)
+    # Bounded time-series telemetry rides along when observability is on.
+    # It only ever *records* — results are bit-identical either way, and
+    # the recorder travels in the scheduler's metadata, never the result.
+    recorder = RunRecorder() if _obs.is_enabled() else None
+    if recorder is not None:
+        pipeline.recorder = recorder
+        if controlled is not None:
+            controlled.attach_recorder(recorder)
     if trace_ops is not None:
         stream = iter(trace_ops)
         if warmup_ops > 0:
@@ -372,6 +383,7 @@ def run_once(
         hierarchy=hierarchy,
         standby=controlled.stats if controlled else None,
         controlled=controlled,
+        recorder=recorder,
     )
 
 
@@ -483,6 +495,20 @@ def figure_point(
         engine=engine,
     )
     model = _leakage_model_cached(temp_c, vdd, target)
+    if tech_run.recorder is not None and len(tech_run.recorder):
+        # Derive the windowed leakage-energy series and stage the whole
+        # recorder for the executing spec to collect (see repro.exec).
+        # Only the technique run is published: the baseline is memoised,
+        # so its recorder's presence would depend on cache state.
+        from repro.power.telemetry import attach_leakage_series
+
+        attach_leakage_series(
+            tech_run.recorder,
+            model=model,
+            technique=technique,
+            frequency_hz=PAPER_FREQUENCY_HZ,
+        )
+        _ts.publish(tech_run.recorder)
     return net_savings(
         benchmark=benchmark,
         technique=technique,

@@ -145,6 +145,8 @@ class ControlledCache:
         # Optional occupancy telemetry: (cycle, n_standby) samples taken at
         # every global decay tick when enabled via record_occupancy().
         self._occupancy_trace: list[tuple[int, int]] | None = None
+        # Optional bounded time-series telemetry (see attach_recorder).
+        self._ts_recorder = None
         g = cache.geometry
         # Ghost tags let gated-Vss classify induced misses (and stand in for
         # the "tags used to facilitate adaptivity" of Section 5.3).
@@ -232,6 +234,58 @@ class ControlledCache:
         """Sampled ``(cycle, n_standby)`` pairs (see record_occupancy)."""
         return list(self._occupancy_trace or ())
 
+    def attach_recorder(self, recorder) -> None:
+        """Record bounded time series of the cache's standby dynamics.
+
+        One sample per global decay tick (base window = the tick period in
+        cycles): the live/drowsy/off line-population split, plus the
+        decay-induced misses and mode transitions that landed in each
+        tick.  Standby lines count as drowsy for state-preserving
+        techniques and as off for gated-Vss; the inapplicable series stays
+        at zero so the report can plot a uniform state split.  Purely
+        additive — attaching a recorder never alters decay behaviour.
+        """
+        window = self._tick_period
+        self._ts_recorder = recorder
+        self._ts_live = recorder.series(
+            "cache.frac_live", kind="mean", base_window=window
+        )
+        drowsy = recorder.series(
+            "cache.frac_drowsy", kind="mean", base_window=window
+        )
+        off = recorder.series(
+            "cache.frac_off", kind="mean", base_window=window
+        )
+        if self.technique.state_preserving:
+            self._ts_standby, self._ts_zero = drowsy, off
+        else:
+            self._ts_standby, self._ts_zero = off, drowsy
+        self._ts_induced = recorder.series(
+            "cache.induced_misses", kind="sum", base_window=window
+        )
+        self._ts_wakeups = recorder.series(
+            "cache.wakeups", kind="sum", base_window=window
+        )
+        self._ts_deact = recorder.series(
+            "cache.deactivations", kind="sum", base_window=window
+        )
+        self._ts_prev = (0, 0, 0)
+
+    def _ts_sample(self) -> None:
+        """Append one decay tick's worth of samples to every series."""
+        frac = self._n_standby / self.cache.geometry.n_lines
+        self._ts_live.append(1.0 - frac)
+        self._ts_standby.append(frac)
+        self._ts_zero.append(0.0)
+        stats = self.stats
+        prev = self._ts_prev
+        self._ts_induced.append(stats.induced_misses - prev[0])
+        self._ts_wakeups.append(stats.wakeups - prev[1])
+        self._ts_deact.append(stats.deactivations - prev[2])
+        self._ts_prev = (
+            stats.induced_misses, stats.wakeups, stats.deactivations
+        )
+
     def advance(self, cycle: int) -> None:
         """Process all global-counter expiries up to ``cycle`` (lazy)."""
         while self._next_tick <= cycle:
@@ -244,6 +298,8 @@ class ControlledCache:
                 self._simple_tick(self._next_tick)
             if self._occupancy_trace is not None:
                 self._occupancy_trace.append((self._next_tick, self._n_standby))
+            if self._ts_recorder is not None:
+                self._ts_sample()
             self._next_tick += self._tick_period
 
     def _schedule_expiry(self, set_idx: int, way: int) -> None:

@@ -28,30 +28,48 @@ from repro.obs.core import (
     counters,
     disable,
     emit,
+    emit_series,
     enable,
     incr,
     is_enabled,
     log_path,
     phase,
     reset,
+    series_path,
     span,
     span_stats,
 )
 from repro.obs.events import EVENT_SCHEMA_VERSION, EventLog, read_events
+from repro.obs.timeseries import (
+    SERIES_SCHEMA_VERSION,
+    TIMESERIES_FILENAME,
+    RunRecorder,
+    Series,
+    read_timeseries,
+    resolve_timeseries_path,
+)
 
 __all__ = [
     "EVENT_SCHEMA_VERSION",
     "EventLog",
+    "RunRecorder",
+    "SERIES_SCHEMA_VERSION",
+    "Series",
+    "TIMESERIES_FILENAME",
     "counters",
     "disable",
     "emit",
+    "emit_series",
     "enable",
     "incr",
     "is_enabled",
     "log_path",
     "phase",
     "read_events",
+    "read_timeseries",
     "reset",
+    "resolve_timeseries_path",
+    "series_path",
     "span",
     "span_stats",
 ]

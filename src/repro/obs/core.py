@@ -20,9 +20,15 @@ name stamps every event the log records.
 from __future__ import annotations
 
 import time
+from pathlib import Path
 from typing import Any
 
 from repro.obs.events import EventLog
+from repro.obs.timeseries import (
+    TIMESERIES_FILENAME,
+    TimeseriesLog,
+    rotate_existing,
+)
 
 __all__ = [
     "enable",
@@ -33,9 +39,11 @@ __all__ = [
     "span",
     "phase",
     "emit",
+    "emit_series",
     "counters",
     "span_stats",
     "log_path",
+    "series_path",
 ]
 
 
@@ -55,7 +63,10 @@ class SpanStat:
 class ObsState:
     """All mutable observability state (one module-level instance)."""
 
-    __slots__ = ("enabled", "counters", "spans", "stack", "log", "phase")
+    __slots__ = (
+        "enabled", "counters", "spans", "stack", "log", "phase",
+        "series_log", "series_path",
+    )
 
     def __init__(self) -> None:
         self.enabled = False
@@ -64,6 +75,11 @@ class ObsState:
         self.stack: list[str] = []
         self.log: EventLog | None = None
         self.phase: str = ""
+        # The per-run timeseries log lives next to events.jsonl and is
+        # opened lazily on the first emit_series (a warm all-cache-hit
+        # campaign produces no fresh series and therefore no file).
+        self.series_log: TimeseriesLog | None = None
+        self.series_path: Path | None = None
 
 
 _STATE = ObsState()
@@ -140,15 +156,29 @@ def enable(log: str | None = None) -> None:
         if _STATE.log is not None:
             _STATE.log.close()
         _STATE.log = EventLog(log)
+        if _STATE.series_log is not None:
+            _STATE.series_log.close()
+            _STATE.series_log = None
+        # The timeseries log is created lazily on the first emit_series,
+        # but a stale file from a previous campaign is rotated *now* so it
+        # can never pair with this campaign's fresh events.jsonl (a warm
+        # all-cache-hit re-run emits no series and would otherwise leave
+        # the old file in place).
+        _STATE.series_path = _STATE.log.path.with_name(TIMESERIES_FILENAME)
+        rotate_existing(_STATE.series_path)
     _STATE.enabled = True
 
 
 def disable() -> None:
-    """Turn observability off and close any attached event log."""
+    """Turn observability off and close any attached logs."""
     _STATE.enabled = False
     if _STATE.log is not None:
         _STATE.log.close()
         _STATE.log = None
+    if _STATE.series_log is not None:
+        _STATE.series_log.close()
+        _STATE.series_log = None
+    _STATE.series_path = None
 
 
 def is_enabled() -> bool:
@@ -158,6 +188,15 @@ def is_enabled() -> bool:
 def log_path() -> str | None:
     """Path of the attached event log, or None."""
     return None if _STATE.log is None else str(_STATE.log.path)
+
+
+def series_path() -> str | None:
+    """Path the timeseries log lands at (set whenever a log is attached).
+
+    The file itself only exists once :func:`emit_series` has been called
+    at least once during the campaign.
+    """
+    return None if _STATE.series_path is None else str(_STATE.series_path)
 
 
 def reset() -> None:
@@ -199,6 +238,20 @@ def emit(event: str, **fields: Any) -> None:
     if not _STATE.enabled or _STATE.log is None:
         return
     _STATE.log.write(event, _STATE.phase, fields)
+
+
+def emit_series(spec: str, payload: dict[str, Any]) -> None:
+    """Write one run's serialised time series to ``timeseries.jsonl``.
+
+    No-op unless observability is on *and* an event log is attached (the
+    series file lives next to it).  The log is created on first use so a
+    campaign whose runs all hit the result store writes no series file.
+    """
+    if not _STATE.enabled or _STATE.series_path is None:
+        return
+    if _STATE.series_log is None:
+        _STATE.series_log = TimeseriesLog(_STATE.series_path)
+    _STATE.series_log.write(spec, _STATE.phase, payload)
 
 
 def counters() -> dict[str, float]:

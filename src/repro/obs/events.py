@@ -29,6 +29,11 @@ Writes are line-buffered appends from the coordinating process only
 (worker telemetry travels back inside the scheduler's result tuples), so
 the log never needs cross-process locking.  Readers should skip lines
 that fail to parse (a crashed campaign may leave a torn final line).
+
+Opening a log where one already exists (a warm re-run into the same out
+directory) rotates the previous file to ``events.jsonl.1`` instead of
+silently clobbering it — one rotation deep, matching the "compare this
+run against the last one" workflow of ``repro diff``.
 """
 
 from __future__ import annotations
@@ -42,12 +47,19 @@ from typing import Any, Iterator
 EVENT_SCHEMA_VERSION = 1
 
 
+def rotate_existing(path: Path) -> None:
+    """Move an existing log aside to ``<name>.1`` (one rotation deep)."""
+    if path.exists():
+        path.replace(path.with_name(path.name + ".1"))
+
+
 class EventLog:
     """Append-only JSONL writer for one campaign's events."""
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        rotate_existing(self.path)
         self._fh = self.path.open("w", encoding="utf-8")
         self._t0 = time.perf_counter()
         self._pid = os.getpid()

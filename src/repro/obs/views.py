@@ -1,17 +1,21 @@
 """Aggregation and rendering of campaign event logs.
 
 The ``repro trace`` and ``repro stats`` CLI views are thin wrappers over
-this module: :func:`load_campaign_events` resolves a campaign directory
-(or a direct path) to its ``events.jsonl``, :func:`aggregate` folds the
-event stream into per-phase and campaign-wide summaries, and the
-``render_*`` functions print them as the usual fixed-width tables.
+this module: :func:`iter_campaign_events` resolves a campaign directory
+(or a direct path) to its ``events.jsonl`` and streams it, the
+:class:`_Aggregator` folds the event stream into per-phase and
+campaign-wide summaries in a single bounded-memory pass (a multi-GB log
+aggregates in constant memory), and the ``render_*`` functions print
+them as the usual fixed-width tables.
 """
 
 from __future__ import annotations
 
+import heapq
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
 from repro.experiments.reporting import render_table
 from repro.obs.events import read_events
@@ -47,9 +51,22 @@ def resolve_events_path(campaign: str | Path) -> Path:
     return path
 
 
+def iter_campaign_events(campaign: str | Path) -> Iterator[dict[str, Any]]:
+    """Stream a campaign's parsed events in log order (constant memory).
+
+    The path resolves eagerly (so a missing log raises here, not at first
+    iteration); the events themselves are yielded lazily.
+    """
+    return read_events(resolve_events_path(campaign))
+
+
 def load_campaign_events(campaign: str | Path) -> list[dict[str, Any]]:
-    """Every parsed event of a campaign, in log order."""
-    return list(read_events(resolve_events_path(campaign)))
+    """Every parsed event of a campaign, materialised into a list.
+
+    Prefer :func:`iter_campaign_events` — this exists for callers that
+    genuinely need random access.
+    """
+    return list(iter_campaign_events(campaign))
 
 
 @dataclass
@@ -89,18 +106,35 @@ class CampaignSummary:
         return sum(p.cache_hits for p in self.phases.values())
 
 
-def aggregate(events: Iterable[dict[str, Any]]) -> CampaignSummary:
-    """Fold an event stream into the campaign summary."""
-    summary = CampaignSummary()
-    finished: list[dict[str, Any]] = []
-    for record in events:
+_SLOWEST_N = 5
+
+
+class _Aggregator:
+    """Single-pass, bounded-memory fold of an event stream.
+
+    Feed records through :meth:`add` and call :meth:`finish` once — the
+    only retained per-run state is a :data:`_SLOWEST_N`-entry heap of the
+    slowest finished runs, so aggregating an arbitrarily long log uses
+    constant memory.
+    """
+
+    def __init__(self) -> None:
+        self.summary = CampaignSummary()
+        # Min-heap of (wall_s, -order, record): the smallest survivor is
+        # evicted first, and among equal walls the later arrival goes, so
+        # the final top-5 matches a stable descending sort of the log.
+        self._slowest: list[tuple[float, int, dict[str, Any]]] = []
+        self._order = 0
+
+    def add(self, record: dict[str, Any]) -> None:
+        summary = self.summary
         summary.events_total += 1
         kind = record.get("event")
         phase_name = record.get("phase") or "(no phase)"
         if kind == "phase_finished":
             phase = _phase(summary, record.get("name") or phase_name)
             phase.wall_s = float(record.get("wall_s") or 0.0)
-            continue
+            return
         if kind == "counters":
             counters = record.get("counters")
             if isinstance(counters, dict):
@@ -108,20 +142,26 @@ def aggregate(events: Iterable[dict[str, Any]]) -> CampaignSummary:
             spans = record.get("spans")
             if isinstance(spans, dict):
                 summary.spans = spans
-            continue
+            return
         if kind not in _RUN_EVENTS:
-            continue
+            return
         phase = _phase(summary, phase_name)
         if kind == "run_started":
             phase.runs_started += 1
         elif kind == "run_finished":
             phase.runs_finished += 1
-            phase.run_wall_s += float(record.get("wall_s") or 0.0)
+            wall = float(record.get("wall_s") or 0.0)
+            phase.run_wall_s += wall
             phase.run_cpu_s += float(record.get("cpu_s") or 0.0)
             summary.max_rss_kb = max(
                 summary.max_rss_kb, float(record.get("max_rss_kb") or 0.0)
             )
-            finished.append(record)
+            self._order += 1
+            entry = (wall, -self._order, record)
+            if len(self._slowest) < _SLOWEST_N:
+                heapq.heappush(self._slowest, entry)
+            else:
+                heapq.heappushpop(self._slowest, entry)
         elif kind == "run_failed":
             phase.failures += 1
         elif kind == "run_retried":
@@ -132,9 +172,23 @@ def aggregate(events: Iterable[dict[str, Any]]) -> CampaignSummary:
             phase.cache_hits += 1
         elif kind == "heartbeat":
             summary.heartbeats += 1
-    finished.sort(key=lambda r: -(r.get("wall_s") or 0.0))
-    summary.slowest_runs = finished[:5]
-    return summary
+
+    def finish(self) -> CampaignSummary:
+        self.summary.slowest_runs = [
+            record
+            for _wall, _neg_order, record in sorted(
+                self._slowest, key=lambda e: (-e[0], -e[1])
+            )
+        ]
+        return self.summary
+
+
+def aggregate(events: Iterable[dict[str, Any]]) -> CampaignSummary:
+    """Fold an event stream into the campaign summary (single pass)."""
+    agg = _Aggregator()
+    for record in events:
+        agg.add(record)
+    return agg.finish()
 
 
 def _phase(summary: CampaignSummary, name: str) -> PhaseSummary:
@@ -175,22 +229,31 @@ def _detail(record: dict[str, Any]) -> str:
 
 
 def render_trace(
-    events: list[dict[str, Any]],
+    events: Iterable[dict[str, Any]],
     *,
     limit: int | None = None,
     phase: str | None = None,
 ) -> str:
-    """Chronological per-run event listing plus the per-phase breakdown."""
-    shown = [
-        r
-        for r in events
-        if r.get("event") in _RUN_EVENTS + ("phase_started", "phase_finished")
-        and (phase is None or r.get("phase") == phase or r.get("name") == phase)
-    ]
-    clipped = 0
-    if limit is not None and len(shown) > limit:
-        clipped = len(shown) - limit
-        shown = shown[-limit:]
+    """Chronological per-run event listing plus the per-phase breakdown.
+
+    Accepts any event iterable (a streamed log included) and makes a
+    single pass over it: with a ``limit`` only the last ``limit``
+    matching events are retained, so memory stays bounded no matter how
+    long the log is.  ``limit`` of ``None`` or ``0`` keeps everything.
+    """
+    traced = _RUN_EVENTS + ("phase_started", "phase_finished")
+    agg = _Aggregator()
+    shown: deque[dict[str, Any]] | list[dict[str, Any]]
+    shown = deque(maxlen=limit) if limit else []
+    matched = 0
+    for r in events:
+        agg.add(r)
+        if r.get("event") in traced and (
+            phase is None or r.get("phase") == phase or r.get("name") == phase
+        ):
+            matched += 1
+            shown.append(r)
+    clipped = matched - len(shown)
     rows = [
         [
             f"{r.get('t', 0.0):9.3f}",
@@ -210,7 +273,7 @@ def render_trace(
     if clipped:
         out.append(f"({clipped} earlier event(s) clipped; use --limit 0)")
     out.append("")
-    out.append(render_phase_breakdown(aggregate(events)))
+    out.append(render_phase_breakdown(agg.finish()))
     return "\n".join(out)
 
 

@@ -1,0 +1,147 @@
+"""Windowed leakage-energy telemetry derived from the standby trace.
+
+The controlled cache records the *mean live-line fraction* per decay tick
+(the ``cache.frac_live`` series); this module converts that trajectory
+into per-window leakage energy, split two ways:
+
+* by **structure** — data array, tag array, edge logic — using exactly
+  the per-line powers of
+  :func:`repro.leakctl.energy.technique_leakage_energy`, applied window
+  by window instead of to the whole-run integral;
+* by **mechanism** — subthreshold, gate tunnelling, GIDL — using the
+  retention currents of :class:`repro.leakage.cells.SRAMCellModel` at the
+  model's operating point.  The mechanism split applies one cell's
+  sub/gate ratio across array *and* edge energy (edge logic has its own
+  slightly different ratio; treating it as SRAM-like is the documented
+  approximation).  GIDL is zero except under reverse body bias, where the
+  bias-grown GIDL floor is carved out of the subthreshold bucket for
+  standby line-cycles — so the three mechanism series always sum to the
+  structure total.
+
+The derived series are per-window *sums* (joules per window), so they
+downsample losslessly and integrate to (approximately) the run's
+:func:`technique_leakage_energy` — approximate only because the trace
+stores the mean standby fraction per window rather than the exact
+piecewise-constant population, and because the settle-time debit is not
+re-applied per window.
+"""
+
+from __future__ import annotations
+
+from repro.leakage.cells import SRAMCellModel
+from repro.leakage.gate import gidl_multiplier
+from repro.leakage.structures import CacheLeakageModel
+from repro.leakctl.base import (
+    RBB_BASE_GIDL_FRACTION,
+    TechniqueConfig,
+    TechniqueKind,
+)
+from repro.obs.timeseries import RunRecorder, Series
+
+__all__ = ["attach_leakage_series"]
+
+#: Structure-split series names (joules per window).
+STRUCTURE_SERIES = ("leak.data_j", "leak.tag_j", "leak.edge_j")
+
+#: Mechanism-split series names (joules per window).
+MECHANISM_SERIES = ("leak.sub_j", "leak.gate_j", "leak.gidl_j")
+
+
+def attach_leakage_series(
+    recorder: RunRecorder,
+    *,
+    model: CacheLeakageModel,
+    technique: TechniqueConfig,
+    frequency_hz: float,
+) -> None:
+    """Derive per-window leakage-energy series from the standby trace.
+
+    Reads the ``cache.frac_live`` series the controlled cache recorded
+    and attaches ``leak.data_j`` / ``leak.tag_j`` / ``leak.edge_j`` plus
+    ``leak.sub_j`` / ``leak.gate_j`` / ``leak.gidl_j`` and ``leak.total_j``
+    (all ``kind="sum"``, same window as the source series).  No-op when
+    the recorder has no standby trace (e.g. a baseline run).
+    """
+    frac_series = recorder.get("cache.frac_live")
+    if frac_series is None or not frac_series.values:
+        return
+
+    n_lines = model.geometry.n_lines
+    window = frac_series.window
+    powers = model.line_powers(technique.standby_fraction(model))
+
+    # Mechanism ratio of one retention cell at the operating point.
+    cell = SRAMCellModel(
+        node=model.node, access_vth_shift=model.access_vth_shift
+    )
+    sub_i = cell.subthreshold_current(
+        vdd=model.vdd, temp_k=model.temp_k, variation=model.variation
+    )
+    gate_i = cell.gate_current(vdd=model.vdd, temp_k=model.temp_k)
+    total_i = sub_i + gate_i
+    sub_frac = sub_i / total_i if total_i > 0 else 1.0
+    gate_frac = 1.0 - sub_frac
+
+    # GIDL floor: only RBB standby carries one (fraction of active-line
+    # power, growing with the body bias — paper Section 3.2).
+    gidl_frac = 0.0
+    if technique.kind is TechniqueKind.RBB:
+        gidl_frac = RBB_BASE_GIDL_FRACTION * gidl_multiplier(
+            model.node, technique.rbb_bias
+        )
+
+    # The partial tail of the frac series covers a shorter span; include
+    # it so the series integrate over the whole sampled trace.
+    spans = [(value, window) for value in frac_series.values]
+    tail = frac_series.to_dict()
+    if "tail" in tail:
+        spans.append(
+            (tail["tail"], tail["tail_windows"] * frac_series.base_window)
+        )
+
+    data_vals: list[float] = []
+    tag_vals: list[float] = []
+    edge_vals: list[float] = []
+    sub_vals: list[float] = []
+    gate_vals: list[float] = []
+    gidl_vals: list[float] = []
+    total_vals: list[float] = []
+    for frac_live, cycles in spans:
+        active_lc = frac_live * n_lines * cycles
+        standby_lc = (1.0 - frac_live) * n_lines * cycles
+        data = active_lc * powers.data_active + standby_lc * powers.data_standby
+        if technique.decay_tags:
+            tag = (
+                active_lc * powers.tag_active
+                + standby_lc * powers.tag_standby
+            )
+        else:
+            tag = n_lines * cycles * powers.tag_active
+        edge = model.edge_logic_power * cycles
+        data_j = data / frequency_hz
+        tag_j = tag / frequency_hz
+        edge_j = edge / frequency_hz
+        total_j = data_j + tag_j + edge_j
+        gidl_j = standby_lc * powers.line_active * gidl_frac / frequency_hz
+        sub_j = max(total_j * sub_frac - gidl_j, 0.0)
+        gate_j = total_j - sub_j - gidl_j
+        data_vals.append(data_j)
+        tag_vals.append(tag_j)
+        edge_vals.append(edge_j)
+        sub_vals.append(sub_j)
+        gate_vals.append(gate_j)
+        gidl_vals.append(gidl_j)
+        total_vals.append(total_j)
+
+    for name, values in (
+        ("leak.data_j", data_vals),
+        ("leak.tag_j", tag_vals),
+        ("leak.edge_j", edge_vals),
+        ("leak.sub_j", sub_vals),
+        ("leak.gate_j", gate_vals),
+        ("leak.gidl_j", gidl_vals),
+        ("leak.total_j", total_vals),
+    ):
+        recorder.add(
+            Series.from_values(name, values, kind="sum", window=window)
+        )

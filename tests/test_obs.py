@@ -210,6 +210,115 @@ class TestViews:
         assert "x/y" in stats
 
 
+class TestFailurePaths:
+    """The degraded campaigns: failures, retries, timeouts, torn logs."""
+
+    def _write_failure_log(self, path):
+        log = EventLog(path)
+        log.write("phase_started", "fig1", {"name": "fig1"})
+        log.write("run_started", "fig1", {"spec": "a" * 64, "slot": 0})
+        log.write(
+            "run_failed",
+            "fig1",
+            {"spec": "a" * 64, "error": "ValueError: boom"},
+        )
+        log.write("run_retried", "fig1", {"spec": "a" * 64, "attempt": 2})
+        log.write("run_timeout", "fig1", {"spec": "b" * 64, "timeout_s": 60})
+        log.write(
+            "run_finished",
+            "fig1",
+            {"spec": "a" * 64, "slot": 0, "wall_s": 0.2},
+        )
+        log.close()
+        with path.open("a") as fh:
+            fh.write('{"event": "run_finis')  # torn final line (crash)
+        return path
+
+    def test_aggregate_counts_every_failure_kind(self, tmp_path):
+        path = self._write_failure_log(tmp_path / "events.jsonl")
+        summary = aggregate(read_events(path))
+        phase = summary.phases["fig1"]
+        assert phase.failures == 1
+        assert phase.retries == 1
+        assert phase.timeouts == 1
+        assert phase.runs_finished == 1  # the torn duplicate is dropped
+        assert summary.events_total == 7  # log_opened + 6 intact events
+
+    def test_render_trace_surfaces_failure_detail(self, tmp_path):
+        path = self._write_failure_log(tmp_path / "events.jsonl")
+        trace = render_trace(read_events(path))
+        assert "run_failed" in trace
+        assert "ValueError: boom" in trace
+        assert "attempt 2" in trace
+        assert "run_timeout" in trace
+
+    def test_render_stats_counts_failures(self, tmp_path):
+        path = self._write_failure_log(tmp_path / "events.jsonl")
+        stats = render_stats(aggregate(read_events(path)))
+        assert "failures" in stats
+        assert "timeouts" in stats
+
+
+class TestEventLogRotation:
+    def test_existing_log_rotates_to_dot_one(self, tmp_path):
+        """Re-running a campaign into the same directory must not clobber
+        the previous evidence: the old log moves to ``events.jsonl.1``."""
+        path = tmp_path / "events.jsonl"
+        first = EventLog(path)
+        first.write("run_started", None, {"spec": "old" * 21 + "x"})
+        first.close()
+        second = EventLog(path)
+        second.write("run_started", None, {"spec": "new" * 21 + "x"})
+        second.close()
+        rotated = tmp_path / "events.jsonl.1"
+        assert rotated.is_file()
+        old_events = list(read_events(rotated))
+        new_events = list(read_events(path))
+        assert old_events[1]["spec"].startswith("old")
+        assert new_events[1]["spec"].startswith("new")
+
+    def test_third_run_keeps_exactly_one_generation(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        for generation in ("g1", "g2", "g3"):
+            log = EventLog(path)
+            log.write("run_started", None, {"spec": generation})
+            log.close()
+        assert list(read_events(path))[1]["spec"] == "g3"
+        assert list(read_events(tmp_path / "events.jsonl.1"))[1]["spec"] == "g2"
+        assert not (tmp_path / "events.jsonl.2").exists()
+
+
+class TestTimeseriesStaysOutOfResults:
+    def test_store_bytes_identical_with_obs_on(self, tmp_path):
+        """The telemetry channel must not leak into the content-addressed
+        result store: stored payload bytes are identical with obs off and
+        on, and never mention the timeseries."""
+        from repro.exec.scheduler import Scheduler
+        from repro.exec.spec import RunSpec
+        from repro.exec.store import ResultStore
+        from repro.experiments.runner import clear_caches
+
+        spec = RunSpec(benchmark="gcc", technique="drowsy", n_ops=1500)
+
+        clear_caches()
+        store_off = ResultStore(tmp_path / "off")
+        Scheduler(store=store_off).run([spec])
+
+        clear_caches()
+        obs.enable(tmp_path / "events.jsonl")
+        store_on = ResultStore(tmp_path / "on")
+        Scheduler(store=store_on).run([spec])
+        obs.disable()
+
+        key = spec.content_hash()
+        blob_off = (tmp_path / "off" / key[:2] / f"{key}.json").read_bytes()
+        blob_on = (tmp_path / "on" / key[:2] / f"{key}.json").read_bytes()
+        assert blob_off == blob_on
+        assert b"timeseries" not in blob_on
+        # ... while the telemetry itself went to the sidecar file.
+        assert (tmp_path / "timeseries.jsonl").is_file()
+
+
 class TestBitIdentityWithObsEnabled:
     def test_figure_point_identical_and_counters_populated(self, tmp_path):
         """Acceptance: the instrumented hot paths yield bit-identical
