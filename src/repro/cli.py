@@ -9,6 +9,8 @@ Usage (installed as the ``repro-paper`` console script, or via
     repro-paper run gcc gated-vss --l2 5 --temp 110
     repro-paper sweep gzip drowsy      # decay-interval sweep
     repro-paper reproduce -j 4         # the whole campaign, 4 workers
+    repro-paper store stats results/.cache
+    repro-paper store gc results/.cache --max-bytes 256M --max-age 7d
 
 Figure regeneration runs full simulations; expect seconds (``run``) to
 minutes (``figure 12_13``).  ``figure``, ``sweep`` and ``reproduce``
@@ -396,6 +398,105 @@ def _cmd_reproduce(args) -> int:
     return 0
 
 
+def _open_store(root):
+    from repro.exec import ResultStore
+
+    try:
+        return ResultStore(root)
+    except NotADirectoryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+
+
+def _size_arg(text: str) -> int:
+    from repro.exec.lifecycle import parse_size
+
+    try:
+        return parse_size(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _duration_arg(text: str) -> float:
+    from repro.exec.lifecycle import parse_duration
+
+    try:
+        return parse_duration(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _cmd_store_stats(args) -> int:
+    import json
+
+    from repro.exec.lifecycle import store_report
+
+    report = store_report(_open_store(args.root))
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    rows = [
+        ["entries", str(report.entries)],
+        ["total bytes", str(report.total_bytes)],
+        ["generation", str(report.generation)],
+        ["live pins", str(report.pins)],
+        ["live claims", str(report.claims)],
+        ["quarantined", str(report.quarantined)],
+        [".tmp orphans", str(report.tmp_orphans)],
+    ]
+    for name, value in sorted(report.counters.items()):
+        rows.append([f"lifetime {name}", f"{value:g}"])
+    print(f"result store: {report.root}")
+    print(render_table(["metric", "value"], rows))
+    if report.shards:
+        print()
+        print("per-shard breakdown:")
+        print(
+            render_table(
+                ["shard", "entries", "bytes"],
+                [
+                    [shard, str(count), str(size)]
+                    for shard, (count, size) in sorted(report.shards.items())
+                ],
+            )
+        )
+    return 0
+
+
+def _cmd_store_gc(args) -> int:
+    from repro.exec.lifecycle import collect_garbage
+
+    if args.max_bytes is None and args.max_age is None:
+        print(
+            "error: gc needs a budget; pass --max-bytes and/or --max-age",
+            file=sys.stderr,
+        )
+        return 2
+    report = collect_garbage(
+        _open_store(args.root),
+        max_bytes=args.max_bytes,
+        max_age_s=args.max_age,
+        dry_run=args.dry_run,
+    )
+    print(report.summary())
+    return 0
+
+
+def _cmd_store_compact(args) -> int:
+    from repro.exec.lifecycle import compact_store
+
+    print(compact_store(_open_store(args.root)).summary())
+    return 0
+
+
+def _cmd_store_prune(args) -> int:
+    from repro.exec.lifecycle import sweep_orphans
+
+    report = sweep_orphans(_open_store(args.root), tmp_age_s=args.tmp_age)
+    print(report.summary())
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.obs.views import iter_campaign_events, render_trace
 
@@ -558,6 +659,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="campaign output directory (or an events.jsonl path directly)",
     )
     stats.set_defaults(func=_cmd_stats)
+
+    storep = sub.add_parser(
+        "store",
+        help="result-store lifecycle: stats, gc (LRU eviction), compact, "
+        "prune",
+    )
+    ssub = storep.add_subparsers(dest="store_command", required=True)
+
+    sstats = ssub.add_parser(
+        "stats",
+        help="size, per-shard breakdown and lifetime hit/miss counters",
+    )
+    sstats.add_argument("root", help="store directory (e.g. results/.cache)")
+    sstats.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    sstats.set_defaults(func=_cmd_store_stats)
+
+    sgc = ssub.add_parser(
+        "gc",
+        help="evict least-recently-used entries to fit a size/age budget "
+        "(pinned/claimed entries are never evicted)",
+    )
+    sgc.add_argument("root", help="store directory")
+    sgc.add_argument(
+        "--max-bytes", type=_size_arg, default=None,
+        help="size budget (accepts suffixes: 512, 64K, 10M, 1G)",
+    )
+    sgc.add_argument(
+        "--max-age", type=_duration_arg, default=None,
+        help="evict entries unused for longer than this (30s, 15m, 12h, 7d)",
+    )
+    sgc.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be evicted without removing anything",
+    )
+    sgc.set_defaults(func=_cmd_store_gc)
+
+    scompact = ssub.add_parser(
+        "compact",
+        help="drop empty shard directories and re-anchor the index to disk",
+    )
+    scompact.add_argument("root", help="store directory")
+    scompact.set_defaults(func=_cmd_store_compact)
+
+    sprune = ssub.add_parser(
+        "prune",
+        help="sweep orphaned .tmp files, dead claims and dead manifests",
+    )
+    sprune.add_argument("root", help="store directory")
+    sprune.add_argument(
+        "--tmp-age", type=_duration_arg, default=3600.0,
+        help=".tmp files older than this are litter (default 1h)",
+    )
+    sprune.set_defaults(func=_cmd_store_prune)
 
     report = sub.add_parser(
         "report",

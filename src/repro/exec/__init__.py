@@ -8,8 +8,29 @@ serially), consulting a persistent content-addressed :class:`ResultStore`
 so that repeated campaigns only pay for what changed.  An
 :class:`ExecutionMetrics` object aggregates jobs/hit-rate/throughput and
 per-phase wall time for ``campaign_metrics.json``.
+
+:mod:`repro.exec.lifecycle` keeps the store healthy when it is shared
+across many clients: a size/recency index, LRU eviction under
+``max_bytes`` / ``max_age`` budgets (never touching entries pinned by an
+in-progress campaign's :class:`CampaignManifest`), :class:`SingleFlight`
+claim files so concurrent schedulers never compute the same spec twice,
+shard compaction, and an orphan sweep — surfaced as the
+``repro-paper store stats|gc|compact|prune`` CLI verbs.
 """
 
+from repro.exec.lifecycle import (
+    CampaignManifest,
+    CompactReport,
+    GcReport,
+    SingleFlight,
+    StoreIndex,
+    StoreReport,
+    SweepReport,
+    collect_garbage,
+    compact_store,
+    store_report,
+    sweep_orphans,
+)
 from repro.exec.metrics import ExecutionMetrics
 from repro.exec.scheduler import Scheduler, SchedulerError
 from repro.exec.spec import CODE_VERSION, RunSpec
@@ -17,11 +38,22 @@ from repro.exec.store import STORE_SCHEMA_VERSION, ResultStore, StoreStats
 
 __all__ = [
     "CODE_VERSION",
-    "RunSpec",
+    "CampaignManifest",
+    "CompactReport",
+    "ExecutionMetrics",
+    "GcReport",
     "ResultStore",
-    "StoreStats",
+    "RunSpec",
     "STORE_SCHEMA_VERSION",
     "Scheduler",
     "SchedulerError",
-    "ExecutionMetrics",
+    "SingleFlight",
+    "StoreIndex",
+    "StoreReport",
+    "StoreStats",
+    "SweepReport",
+    "collect_garbage",
+    "compact_store",
+    "store_report",
+    "sweep_orphans",
 ]

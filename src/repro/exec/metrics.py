@@ -23,6 +23,7 @@ class ExecutionMetrics:
         self.jobs_total = 0
         self.jobs_executed = 0
         self.cache_hits = 0
+        self.dedup_waits = 0
         self.retries = 0
         self.timeouts = 0
         self.failures = 0
@@ -43,14 +44,21 @@ class ExecutionMetrics:
         wall_s: float,
         retries: int = 0,
         failures: int = 0,
+        dedup_waits: int = 0,
     ) -> None:
-        """Fold one scheduler batch into the campaign totals."""
+        """Fold one scheduler batch into the campaign totals.
+
+        ``dedup_waits`` counts jobs this batch did not execute because a
+        concurrent scheduler (another process) held the single-flight
+        claim and committed the result first.
+        """
         self.jobs_total += jobs
         self.cache_hits += cache_hits
         self.jobs_executed += executed
         self.execution_wall_s += wall_s
         self.retries += retries
         self.failures += failures
+        self.dedup_waits += dedup_waits
 
     @contextmanager
     def phase(self, name: str):
@@ -97,6 +105,7 @@ class ExecutionMetrics:
             "jobs_executed": self.jobs_executed,
             "cache_hits": self.cache_hits,
             "hit_rate": self.hit_rate,
+            "dedup_waits": self.dedup_waits,
             "retries": self.retries,
             "timeouts": self.timeouts,
             "failures": self.failures,

@@ -17,13 +17,24 @@ results, in order, with five behaviours layered on top of plain execution:
    fails.  Jobs the pool *abandoned* at the batch timeout never produced
    a result anywhere, so they get one serial first-execution pass that is
    accounted as a timeout, not a retry — the same job is never counted
-   in both buckets.  The abandoned pool is shut down with
-   ``cancel_futures=True`` so queued work never runs behind our back.
+   in both buckets (the event log mirrors this: abandoned jobs emit
+   ``run_requeued``, failed jobs emit ``run_retried``).  The abandoned
+   pool is shut down with ``cancel_futures=True`` so queued work never
+   runs behind our back.
 5. **Observability** — with :mod:`repro.obs` enabled, every run start /
    finish / failure / retry / cache hit lands in the campaign event log
    (with worker pid, wall/CPU time and peak RSS measured in the worker),
    and the pool wait loop emits periodic heartbeats naming straggler
    jobs.  Disabled (the default), none of this code runs.
+6. **Store lifecycle** (:mod:`repro.exec.lifecycle`) — when a store is
+   attached, each batch pins every spec hash it references in a
+   :class:`~repro.exec.lifecycle.CampaignManifest` (so a concurrent
+   ``repro store gc`` never evicts entries under an in-progress
+   campaign), and misses go through
+   :class:`~repro.exec.lifecycle.SingleFlight` claim files: if another
+   scheduler — any process on this machine — is already computing the
+   same spec hash, this one waits and reads the committed result instead
+   of duplicating the work.
 """
 
 from __future__ import annotations
@@ -35,6 +46,7 @@ from typing import Callable, Sequence
 
 from repro import obs as _obs
 from repro.obs import timeseries as _ts
+from repro.exec.lifecycle import CampaignManifest, SingleFlight
 from repro.exec.metrics import ExecutionMetrics
 from repro.exec.spec import RunSpec
 from repro.exec.store import ResultStore
@@ -107,6 +119,9 @@ class Scheduler:
         heartbeat_s: Interval of the straggler heartbeat emitted to the
             observability event log while the pool is draining; must be
             positive.  Irrelevant while :mod:`repro.obs` is disabled.
+        single_flight: Cross-process dedup via claim files (default on;
+            no effect without a store).  Disable only for stores on
+            filesystems where exclusive-create is unreliable.
     """
 
     def __init__(
@@ -119,6 +134,7 @@ class Scheduler:
         metrics: ExecutionMetrics | None = None,
         progress: Callable[[str], None] | None = None,
         heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        single_flight: bool = True,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -135,6 +151,7 @@ class Scheduler:
         self.metrics = metrics
         self.progress = progress
         self.heartbeat_s = heartbeat_s
+        self.single_flight = single_flight
 
     # ------------------------------------------------------------------
     # Public API
@@ -160,9 +177,11 @@ class Scheduler:
         # Store lookups + in-batch dedup: map each unique missing hash to
         # every slot that wants it.
         pending: dict[str, list[int]] = {}
+        keys: list[str] = []
         cache_hits = 0
         for i, spec in enumerate(specs):
             key = spec.content_hash()
+            keys.append(key)
             if key in pending:
                 pending[key].append(i)
                 continue
@@ -175,12 +194,67 @@ class Scheduler:
             else:
                 pending[key] = [i]
 
-        todo = [slots[0] for slots in pending.values()]
         executed = 0
-        if todo:
-            with _obs.span("scheduler.execute"):
-                self._execute_pending(specs, todo, results, note)
-            executed = len(todo)
+        dedup_waits = 0
+        manifest: CampaignManifest | None = None
+        claims: SingleFlight | None = None
+        foreign: list[str] = []
+        if self.store is not None:
+            # Pin every referenced hash (hits included) for the duration
+            # of the batch: a concurrent `repro store gc` must never
+            # evict under an in-progress campaign.
+            manifest = CampaignManifest(self.store.root, label="scheduler")
+            manifest.add(keys)
+            if pending and self.single_flight:
+                claims = SingleFlight(self.store)
+                foreign = [
+                    key for key in pending if not claims.try_claim(key)
+                ]
+        try:
+            foreign_set = set(foreign)
+            todo = [
+                slots[0]
+                for key, slots in pending.items()
+                if key not in foreign_set
+            ]
+            if todo:
+                with _obs.span("scheduler.execute"):
+                    self._execute_pending(specs, todo, results, note)
+                executed = len(todo)
+            for key in foreign:
+                # Another process claimed this hash first: wait for its
+                # committed result instead of duplicating the work.  A
+                # vanished or wedged holder hands the claim (and the
+                # computation) back to us.
+                slot = pending[key][0]
+                got = claims.wait_for(
+                    specs[slot], key, timeout_s=self.timeout_s
+                )
+                if got is not None:
+                    results[slot] = got
+                    dedup_waits += 1
+                    if observed:
+                        _obs.emit(
+                            "cache_hit",
+                            spec=key,
+                            slot=slot,
+                            source="single-flight",
+                        )
+                else:
+                    note(
+                        f"single-flight holder for {key[:16]} vanished; "
+                        f"computing locally"
+                    )
+                    with _obs.span("scheduler.execute"):
+                        self._execute_pending(specs, [slot], results, note)
+                    executed += 1
+        finally:
+            if claims is not None:
+                claims.release_all()
+            if manifest is not None:
+                manifest.close()
+            if self.store is not None:
+                self.store.flush_index()
         for key, slots in pending.items():
             for i in slots[1:]:
                 results[i] = results[slots[0]]
@@ -195,11 +269,13 @@ class Scheduler:
                 cache_hits=cache_hits,
                 executed=executed,
                 wall_s=wall,
+                dedup_waits=dedup_waits,
             )
         if len(specs) > 1:
             rate = executed / wall if wall > 0 else 0.0
+            deduped = f", {dedup_waits} deduped" if dedup_waits else ""
             note(
-                f"batch: {len(specs)} jobs, {cache_hits} cached, "
+                f"batch: {len(specs)} jobs, {cache_hits} cached{deduped}, "
                 f"{executed} executed in {wall:.1f} s ({rate:.2f} runs/s)"
             )
         assert all(r is not None for r in results)
@@ -227,17 +303,19 @@ class Scheduler:
             # futures were cancelled or their workers outlived the
             # budget), so this serial pass is their *first* execution —
             # accounted as timeouts, not retries, or the same job would
-            # be double-counted across the retry rounds below.
+            # be double-counted across the retry rounds below.  The event
+            # mirrors the metrics bucket: ``run_requeued``, distinct from
+            # ``run_retried``, so ``repro stats`` never reports the same
+            # job as both a timeout and a retry.
             if self.metrics is not None:
                 self.metrics.timeouts += len(abandoned)
             note(f"re-running {len(abandoned)} abandoned job(s) serially")
             if _obs.is_enabled():
                 for i in abandoned:
                     _obs.emit(
-                        "run_retried",
+                        "run_requeued",
                         spec=specs[i].content_hash(),
                         slot=i,
-                        attempt=0,
                         reason="pool timeout",
                     )
             failed.extend(self._run_serial(specs, abandoned, results, note))

@@ -10,10 +10,27 @@ Each entry records a schema version, the spec hash and spec fields (for
 auditability), and the flattened
 :class:`~repro.leakctl.energy.NetSavingsResult`.  Writes are atomic and
 durable (temp file created *in the destination shard*, fsynced, then
-``os.replace``), so a crashed, killed, or power-cut campaign can never
-leave a half-written entry that later reads as a (wrong) hit: anything
-unreadable, schema-mismatched, or mis-keyed is treated as a miss,
-quarantined out of the shard tree, and transparently re-run.
+``os.replace``; the shard directory — and, for a brand-new shard, the
+store root — is fsynced after), so a crashed, killed, or power-cut
+campaign can never leave a half-written entry that later reads as a
+(wrong) hit: anything unreadable, schema-mismatched, or mis-keyed is
+treated as a miss, quarantined out of the shard tree, and transparently
+re-run.
+
+Failure taxonomy on read — the distinction matters:
+
+* **absent** — no file: a plain miss.
+* **transient** (``EACCES``, ``EMFILE``, an NFS hiccup): a plain miss
+  too.  The entry is *kept*; quarantining here would permanently evict a
+  healthy result over a passing error.
+* **corrupt** (torn JSON, schema/key mismatch, result-field drift): a
+  miss, and the shard is moved into ``<root>/quarantine/`` so it stays
+  inspectable and never becomes a repeat offender.
+
+Lifecycle management — the per-entry size/recency index, LRU eviction
+under size/age budgets, pin manifests, single-flight claims, compaction
+and the orphan sweep — lives in :mod:`repro.exec.lifecycle`; the store
+feeds it through :attr:`ResultStore.index`.
 """
 
 from __future__ import annotations
@@ -26,6 +43,7 @@ from dataclasses import asdict, dataclass, fields
 from pathlib import Path
 
 from repro import obs as _obs
+from repro.exec.lifecycle import StoreIndex
 from repro.exec.spec import CODE_VERSION, RunSpec
 from repro.leakctl.energy import NetSavingsResult
 
@@ -38,13 +56,16 @@ QUARANTINE_DIR = "quarantine"
 
 @dataclass
 class StoreStats:
-    """Hit/miss accounting for one store instance."""
+    """Hit/miss accounting for one store instance (cache_info-style)."""
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
     invalid: int = 0
     quarantined: int = 0
+    read_errors: int = 0
+    evictions: int = 0
+    evicted_bytes: int = 0
 
     @property
     def lookups(self) -> int:
@@ -61,6 +82,9 @@ class StoreStats:
             "writes": self.writes,
             "invalid": self.invalid,
             "quarantined": self.quarantined,
+            "read_errors": self.read_errors,
+            "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
             "hit_rate": self.hit_rate,
         }
 
@@ -75,6 +99,7 @@ class ResultStore:
                 f"result store root {self.root} exists and is not a directory"
             )
         self.stats = StoreStats()
+        self.index = StoreIndex(self.root)
 
     def path_for(self, spec: RunSpec) -> Path:
         key = spec.content_hash()
@@ -83,50 +108,88 @@ class ResultStore:
     def get(self, spec: RunSpec) -> NetSavingsResult | None:
         """The cached result for ``spec``, or None (miss).
 
-        A corrupt file (partial write from a pre-atomic-writer tool, disk
-        trouble), a schema-version mismatch, a key mismatch, or a result
-        payload that no longer matches the current
-        :class:`NetSavingsResult` fields all count as misses — the bad
-        shard is moved aside into ``<root>/quarantine/`` (never silently
-        deleted, so it stays inspectable) and the caller simply re-runs
-        and overwrites.
+        A corrupt file (partial write from a pre-atomic-writer tool), a
+        schema-version mismatch, a key mismatch, or a result payload that
+        no longer matches the current :class:`NetSavingsResult` fields
+        all count as misses — the bad shard is moved aside into
+        ``<root>/quarantine/`` (never silently deleted, so it stays
+        inspectable) and the caller simply re-runs and overwrites.  A
+        *transient* read error (``EACCES``, ``EMFILE``, a flaky network
+        filesystem) is also a miss, but the entry is left in place: the
+        next lookup may well succeed.
         """
         key = spec.content_hash()
         path = self.root / key[:2] / f"{key}.json"
+        status, result = self._read(path, key)
+        if status == "hit":
+            self.stats.hits += 1
+            _obs.incr("store.hits")
+            self.index.touch(key)
+            self.index.bump("hits")
+            return result
+        self.stats.misses += 1
+        _obs.incr("store.misses")
+        self.index.bump("misses")
+        if status == "corrupt":
+            self.stats.invalid += 1
+            _obs.incr("store.invalid")
+            self.index.bump("invalid")
+            self.index.drop(key)
+            self._quarantine(path)
+        elif status == "transient":
+            self.stats.read_errors += 1
+            _obs.incr("store.read_errors")
+            self.index.bump("read_errors")
+        return None
+
+    def peek(self, spec: RunSpec) -> NetSavingsResult | None:
+        """A valid committed result for ``spec``, or None — no accounting.
+
+        Used by the single-flight wait loop, which polls: counting every
+        poll as a miss (or quarantining on a transient error mid-commit)
+        would wreck the stats and the store.
+        """
+        key = spec.content_hash()
+        status, result = self._read(
+            self.root / key[:2] / f"{key}.json", key
+        )
+        return result if status == "hit" else None
+
+    def _read(
+        self, path: Path, key: str
+    ) -> tuple[str, NetSavingsResult | None]:
+        """Classify one entry: ``(status, result)``.
+
+        Status is ``"hit"`` (valid entry), ``"absent"`` (no file),
+        ``"transient"`` (read error worth retrying later), or
+        ``"corrupt"`` (decode/schema/key damage — quarantine material).
+        """
         try:
-            payload = json.loads(path.read_text())
+            text = path.read_text()
         except FileNotFoundError:
-            self.stats.misses += 1
-            _obs.incr("store.misses")
-            return None
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            return self._invalid(path)
+            return "absent", None
+        except UnicodeDecodeError:
+            return "corrupt", None
+        except OSError:
+            return "transient", None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            return "corrupt", None
         if (
             not isinstance(payload, dict)
             or payload.get("schema_version") != STORE_SCHEMA_VERSION
             or payload.get("spec_hash") != key
         ):
-            return self._invalid(path)
+            return "corrupt", None
         result_fields = payload.get("result")
         known = {f.name for f in fields(NetSavingsResult)}
         if not isinstance(result_fields, dict) or set(result_fields) != known:
-            return self._invalid(path)
+            return "corrupt", None
         try:
-            result = NetSavingsResult(**result_fields)
+            return "hit", NetSavingsResult(**result_fields)
         except TypeError:
-            return self._invalid(path)
-        self.stats.hits += 1
-        _obs.incr("store.hits")
-        return result
-
-    def _invalid(self, path: Path) -> None:
-        """Account an unreadable/invalid shard as a miss and quarantine it."""
-        self.stats.misses += 1
-        self.stats.invalid += 1
-        _obs.incr("store.misses")
-        _obs.incr("store.invalid")
-        self._quarantine(path)
-        return None
+            return "corrupt", None
 
     def _quarantine(self, path: Path) -> Path | None:
         """Move a corrupt shard to ``<root>/quarantine/`` for post-mortems.
@@ -152,13 +215,15 @@ class ResultStore:
 
         The temp file is created in the destination shard directory (so
         ``os.replace`` never crosses filesystems) and fsynced before the
-        rename; the directory is fsynced after, so a power cut leaves
-        either the old state or the complete new entry — never a torn
-        file that :meth:`get` would have to quarantine.
+        rename; the shard directory is fsynced after — and when this put
+        created a brand-new shard directory, the store root is fsynced
+        too, or a power cut could drop the whole shard's directory entry.
         """
         key = spec.content_hash()
         path = self.root / key[:2] / f"{key}.json"
-        path.parent.mkdir(parents=True, exist_ok=True)
+        shard = path.parent
+        new_shard = not shard.is_dir()
+        shard.mkdir(parents=True, exist_ok=True)
         payload = {
             "schema_version": STORE_SCHEMA_VERSION,
             "code_version": CODE_VERSION,
@@ -168,7 +233,7 @@ class ResultStore:
         }
         blob = json.dumps(payload, indent=2, sort_keys=True) + "\n"
         fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+            dir=shard, prefix=f".{key[:8]}-", suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "w") as handle:
@@ -176,7 +241,9 @@ class ResultStore:
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp, path)
-            self._fsync_dir(path.parent)
+            self._fsync_dir(shard)
+            if new_shard:
+                self._fsync_dir(self.root)
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -185,7 +252,13 @@ class ResultStore:
             raise
         self.stats.writes += 1
         _obs.incr("store.writes")
+        self.index.record_write(key, len(blob))
+        self.index.bump("writes")
         return path
+
+    def flush_index(self) -> None:
+        """Persist buffered index accounting (best-effort, never raises)."""
+        self.index.flush()
 
     @staticmethod
     def _fsync_dir(directory: Path) -> None:
@@ -202,7 +275,15 @@ class ResultStore:
             os.close(fd)
 
     def __len__(self) -> int:
-        """Number of entries on disk (walks the tree; for tests/tools)."""
+        """Number of committed entries on disk (``.tmp`` orphans and the
+        index/quarantine/manifest/claim sidecars never count)."""
         if not self.root.is_dir():
             return 0
         return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def disk_usage(self) -> tuple[int, int]:
+        """``(entries, total_bytes)`` of committed entries only."""
+        from repro.exec.lifecycle import scan_entries
+
+        entries = scan_entries(self.root)
+        return len(entries), sum(size for size, _m in entries.values())

@@ -11,19 +11,27 @@ absolute POSIX timestamp, ``phase`` the campaign phase that was current
 when the event fired (see :func:`repro.obs.phase`).  Event kinds written
 by the instrumented layers:
 
-=================  ======================================================
-``run_started``    a spec began executing (serial) or was submitted (pool)
-``run_finished``   a spec produced a result: worker pid, wall/CPU seconds,
-                   peak RSS (kB)
-``run_failed``     a spec raised; carries the error repr
-``run_retried``    a failed/abandoned spec was rescheduled serially
-``run_timeout``    the pool budget expired with this spec outstanding
-``cache_hit``      the result store (or in-batch dedup) served a spec
-``heartbeat``      the scheduler's periodic straggler report
-``phase_started``  a campaign phase opened
-``phase_finished`` a campaign phase closed (with its wall seconds)
-``counters``       final counter/span snapshot, written at campaign end
-=================  ======================================================
+==================  =====================================================
+``run_started``     a spec began executing (serial) or was submitted (pool)
+``run_finished``    a spec produced a result: worker pid, wall/CPU seconds,
+                    peak RSS (kB)
+``run_failed``      a spec raised; carries the error repr
+``run_retried``     a *failed* spec was rescheduled serially
+``run_requeued``    an *abandoned* (pool-timeout) spec got its one serial
+                    first-execution pass — distinct from ``run_retried``
+                    so stats never double-count a job as both a timeout
+                    and a retry
+``run_timeout``     the pool budget expired with this spec outstanding
+``cache_hit``       the result store, in-batch dedup, or a single-flight
+                    wait served a spec (``source`` says which)
+``heartbeat``       the scheduler's periodic straggler report
+``phase_started``   a campaign phase opened
+``phase_finished``  a campaign phase closed (with its wall seconds)
+``store_gc``        a store GC pass ran (evicted/kept/pinned counts)
+``store_compacted`` empty shards dropped, index re-anchored to disk
+``store_swept``     orphaned .tmp/claim/manifest litter removed
+``counters``        final counter/span snapshot, written at campaign end
+==================  =====================================================
 
 Writes are line-buffered appends from the coordinating process only
 (worker telemetry travels back inside the scheduler's result tuples), so

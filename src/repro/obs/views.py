@@ -28,6 +28,7 @@ _RUN_EVENTS = (
     "run_finished",
     "run_failed",
     "run_retried",
+    "run_requeued",
     "run_timeout",
     "cache_hit",
     "heartbeat",
@@ -78,6 +79,7 @@ class PhaseSummary:
     runs_finished: int = 0
     failures: int = 0
     retries: int = 0
+    requeues: int = 0
     timeouts: int = 0
     cache_hits: int = 0
     run_wall_s: float = 0.0
@@ -166,6 +168,12 @@ class _Aggregator:
             phase.failures += 1
         elif kind == "run_retried":
             phase.retries += 1
+        elif kind == "run_requeued":
+            # Abandoned jobs are already accounted under ``timeouts``
+            # (the pool emitted run_timeout when it gave up on them);
+            # the requeue is tracked separately, never as a retry, so
+            # the stats buckets match ExecutionMetrics.
+            phase.requeues += 1
         elif kind == "run_timeout":
             phase.timeouts += 1
         elif kind == "cache_hit":
@@ -217,6 +225,8 @@ def _detail(record: dict[str, Any]) -> str:
         return str(record.get("error", ""))[:48]
     if kind == "run_retried":
         return f"attempt {record.get('attempt', '?')}"
+    if kind == "run_requeued":
+        return str(record.get("reason", "pool timeout"))
     if kind == "cache_hit":
         return str(record.get("source", "store"))
     if kind == "heartbeat":
@@ -313,6 +323,7 @@ def render_stats(summary: CampaignSummary) -> str:
         ["retries", str(sum(p.retries for p in summary.phases.values()))],
         ["failures", str(sum(p.failures for p in summary.phases.values()))],
         ["timeouts", str(sum(p.timeouts for p in summary.phases.values()))],
+        ["requeued", str(sum(p.requeues for p in summary.phases.values()))],
         ["heartbeats", str(summary.heartbeats)],
     ]
     if summary.max_rss_kb:

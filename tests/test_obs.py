@@ -225,6 +225,11 @@ class TestFailurePaths:
         log.write("run_retried", "fig1", {"spec": "a" * 64, "attempt": 2})
         log.write("run_timeout", "fig1", {"spec": "b" * 64, "timeout_s": 60})
         log.write(
+            "run_requeued",
+            "fig1",
+            {"spec": "b" * 64, "reason": "pool timeout"},
+        )
+        log.write(
             "run_finished",
             "fig1",
             {"spec": "a" * 64, "slot": 0, "wall_s": 0.2},
@@ -241,8 +246,21 @@ class TestFailurePaths:
         assert phase.failures == 1
         assert phase.retries == 1
         assert phase.timeouts == 1
+        assert phase.requeues == 1
         assert phase.runs_finished == 1  # the torn duplicate is dropped
-        assert summary.events_total == 7  # log_opened + 6 intact events
+        assert summary.events_total == 8  # log_opened + 7 intact events
+
+    def test_requeue_is_not_double_counted_as_retry(self, tmp_path):
+        """Regression: abandoned pool jobs used to emit run_retried with
+        attempt=0 on top of their run_timeout, so `repro stats` reported
+        them as both timeouts and retries.  A requeue is its own bucket,
+        matching the ExecutionMetrics accounting."""
+        path = self._write_failure_log(tmp_path / "events.jsonl")
+        summary = aggregate(read_events(path))
+        phase = summary.phases["fig1"]
+        # The timed-out spec ("b") contributes one timeout and one
+        # requeue — and exactly zero retries (those belong to "a").
+        assert (phase.timeouts, phase.requeues, phase.retries) == (1, 1, 1)
 
     def test_render_trace_surfaces_failure_detail(self, tmp_path):
         path = self._write_failure_log(tmp_path / "events.jsonl")
@@ -251,12 +269,15 @@ class TestFailurePaths:
         assert "ValueError: boom" in trace
         assert "attempt 2" in trace
         assert "run_timeout" in trace
+        assert "run_requeued" in trace
+        assert "pool timeout" in trace
 
     def test_render_stats_counts_failures(self, tmp_path):
         path = self._write_failure_log(tmp_path / "events.jsonl")
         stats = render_stats(aggregate(read_events(path)))
         assert "failures" in stats
         assert "timeouts" in stats
+        assert "requeued" in stats
 
 
 class TestEventLogRotation:

@@ -257,3 +257,95 @@ class TestQuarantine:
         assert store.get(spec) is None
         assert store.stats.invalid == 1
         assert store.stats.quarantined == 0
+
+
+class TestTransientReadErrors:
+    """Regression: any OSError on read used to be treated as corruption
+    and quarantined the shard — permanently evicting a healthy entry over
+    an EACCES/EMFILE/NFS hiccup.  Transient errors are plain misses."""
+
+    def _flaky_read_text(self, monkeypatch, victim, exc):
+        from pathlib import Path
+
+        real = Path.read_text
+
+        def flaky(self, *args, **kwargs):
+            if self.name == victim.name:
+                raise exc
+            return real(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "read_text", flaky)
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            PermissionError(13, "Permission denied"),
+            OSError(24, "Too many open files"),
+            OSError(5, "Input/output error"),
+        ],
+        ids=["EACCES", "EMFILE", "EIO"],
+    )
+    def test_transient_error_is_plain_miss_entry_survives(
+        self, store, spec, monkeypatch, exc
+    ):
+        store.put(spec, make_result())
+        path = store.path_for(spec)
+        self._flaky_read_text(monkeypatch, path, exc)
+        assert store.get(spec) is None
+        assert store.stats.read_errors == 1
+        assert store.stats.invalid == 0
+        assert store.stats.quarantined == 0
+        # The healthy entry is still in place ...
+        assert path.exists()
+        monkeypatch.undo()
+        # ... and the very next lookup hits it.
+        assert store.get(spec) is not None
+        assert store.stats.hits == 1
+
+    def test_corruption_still_quarantines(self, store, spec):
+        """The fix must not soften real corruption handling."""
+        store.put(spec, make_result())
+        store.path_for(spec).write_text("not json {")
+        assert store.get(spec) is None
+        assert store.stats.invalid == 1
+        assert store.stats.quarantined == 1
+        assert store.stats.read_errors == 0
+
+    def test_peek_never_touches_stats_or_quarantine(self, store, spec):
+        assert store.peek(spec) is None
+        store.put(spec, make_result())
+        assert store.peek(spec) is not None
+        store.path_for(spec).write_text("garbage")
+        assert store.peek(spec) is None
+        assert store.path_for(spec).exists()  # peek never quarantines
+        assert store.stats.lookups == 0
+
+
+class TestDurability:
+    def test_new_shard_creation_fsyncs_store_root(self, store, spec, monkeypatch):
+        """Regression: the shard directory was fsynced but the store root
+        was not, so a power cut after creating a brand-new shard could
+        drop the whole shard's directory entry."""
+        from repro.exec.store import ResultStore
+
+        synced = []
+        monkeypatch.setattr(
+            ResultStore, "_fsync_dir", staticmethod(synced.append)
+        )
+        store.put(spec, make_result())
+        shard = store.path_for(spec).parent
+        assert synced == [shard, store.root]
+        # Re-putting into the now-existing shard skips the root fsync.
+        synced.clear()
+        store.put(spec, make_result())
+        assert synced == [shard]
+
+    def test_len_and_disk_usage_ignore_tmp_orphans(self, store, spec):
+        store.put(spec, make_result())
+        entries, used = store.disk_usage()
+        assert entries == len(store) == 1
+        shard = store.path_for(spec).parent
+        (shard / ".deadbeef-orphan.tmp").write_text("x" * 10_000)
+        (store.root / ".stray.tmp").write_text("y" * 10_000)
+        assert len(store) == 1
+        assert store.disk_usage() == (entries, used)
