@@ -1,11 +1,28 @@
-"""Cycle-level out-of-order CPU model (the SimpleScalar/Wattch stand-in)."""
+"""Cycle-level out-of-order CPU model (the SimpleScalar/Wattch stand-in).
+
+Three timing tiers share this package: the cycle-level reference
+(:class:`Pipeline`), the analytical fast engine (:class:`FastPipeline`),
+and the calibrated grid surrogate (:mod:`repro.cpu.surrogate`), which
+never simulates at all.
+"""
 
 from repro.cpu.branch import BranchTargetBuffer, HybridPredictor, PredictorStats
 from repro.cpu.config import PAPER_L2_LATENCIES, PAPER_MACHINE, MachineConfig
 from repro.cpu.isa import FP_OPS, MEM_OPS, N_REGS, MicroOp, OpClass
-from repro.cpu.fastmodel import FastPipeline, FastTimingConfig
+from repro.cpu.fastmodel import FastPipeline, FastTimingConfig, fitted_timing_config
 from repro.cpu.metrics import RunStats
 from repro.cpu.pipeline import Pipeline
+from repro.cpu.surrogate import (
+    DEFAULT_ERROR_BUDGET,
+    CalibrationConfig,
+    ErrorBudget,
+    GridPoint,
+    OutOfEnvelopeError,
+    SurrogateModel,
+    SurrogateSweepReport,
+    surrogate_figure_point,
+    surrogate_sweep,
+)
 
 __all__ = [
     "MachineConfig",
@@ -22,5 +39,15 @@ __all__ = [
     "Pipeline",
     "FastPipeline",
     "FastTimingConfig",
+    "fitted_timing_config",
     "RunStats",
+    "CalibrationConfig",
+    "DEFAULT_ERROR_BUDGET",
+    "ErrorBudget",
+    "GridPoint",
+    "OutOfEnvelopeError",
+    "SurrogateModel",
+    "SurrogateSweepReport",
+    "surrogate_figure_point",
+    "surrogate_sweep",
 ]

@@ -67,6 +67,28 @@ class FastTimingConfig:
                 raise ValueError(f"{name} must be in [0, 1]")
 
 
+def fitted_timing_config(**overrides: float) -> FastTimingConfig:
+    """A :class:`FastTimingConfig` from fitted (noisy) exposure factors.
+
+    Calibration fits (:func:`repro.cpu.surrogate.fit_exposure_factors`)
+    come from finite differences over a handful of anchor runs, so they
+    can land marginally outside the config's validity ranges; this clamps
+    exposure factors into [0, 1] and keeps ``base_ipc`` strictly positive
+    instead of letting the constructor reject the fit.
+    """
+    config = FastTimingConfig()
+    clean: dict[str, float] = {}
+    for name, value in overrides.items():
+        if not hasattr(config, name):
+            raise TypeError(f"unknown FastTimingConfig field {name!r}")
+        if name.endswith("_exposure"):
+            value = min(max(value, 0.0), 1.0)
+        elif name == "base_ipc":
+            value = max(value, 1e-6)
+        clean[name] = value
+    return FastTimingConfig(**clean)
+
+
 class FastPipeline:
     """Analytical-timing replacement for :class:`repro.cpu.pipeline.Pipeline`.
 

@@ -273,6 +273,7 @@ def run_once(
     target: str = "l1d",
     trace_ops=None,
     engine: str = "ooo",
+    timing=None,
     reference: bool = False,
 ) -> RunOutput:
     """Run one benchmark once (baseline when ``technique`` is None).
@@ -285,7 +286,13 @@ def run_once(
     the first ``warmup_ops`` of it feed the functional warmup.
     ``engine`` selects the timing model: ``"ooo"`` (the cycle-level
     out-of-order reference) or ``"fast"`` (analytical timing for wide
-    sweeps; identical cache/energy state, estimated cycle count).
+    sweeps; identical cache/energy state, estimated cycle count).  The
+    grid-level ``"surrogate"`` tier never simulates and therefore has no
+    ``run_once`` — use :func:`figure_point` or
+    :func:`repro.cpu.surrogate.surrogate_sweep`.  ``timing`` optionally
+    overrides the fast engine's :class:`~repro.cpu.fastmodel.
+    FastTimingConfig` (e.g. exposure factors fitted by a surrogate
+    calibration).
     ``reference`` selects the unoptimised slow paths everywhere — the
     cycle-by-cycle pipeline loop, the periodic full-array decay scan, and
     the stdlib ``random.Random`` trace generator.  Results are
@@ -294,8 +301,16 @@ def run_once(
     """
     if target not in ("l1d", "l1i", "l2"):
         raise ValueError(f"unknown control target {target!r}")
+    if engine == "surrogate":
+        raise ValueError(
+            "the surrogate tier serves figure points, not raw runs; "
+            "use figure_point(engine='surrogate') or "
+            "repro.cpu.surrogate.surrogate_sweep"
+        )
     if engine not in ("ooo", "fast"):
         raise ValueError(f"unknown engine {engine!r}")
+    if timing is not None and engine != "fast":
+        raise ValueError("timing overrides apply to the 'fast' engine only")
     accountant = EnergyAccountant(config=default_power_config(vdd=vdd))
     controlled = None
     if technique is not None:
@@ -321,7 +336,7 @@ def run_once(
     if engine == "fast":
         from repro.cpu.fastmodel import FastPipeline
 
-        pipeline = FastPipeline(machine, hierarchy, accountant)
+        pipeline = FastPipeline(machine, hierarchy, accountant, timing=timing)
     else:
         pipeline = Pipeline(machine, hierarchy, accountant, reference=reference)
     # Bounded time-series telemetry rides along when observability is on.
@@ -477,7 +492,27 @@ def figure_point(
     pair to the paper's net-savings / performance-loss metrics at the
     requested temperature and supply voltage (the DVS hook: a lower Vdd
     shrinks both the leakage at stake and the dynamic costs).
+
+    ``engine="surrogate"`` serves the point from the committed calibration
+    artifact when it covers the request, and otherwise falls back to the
+    cycle engine (see :mod:`repro.cpu.surrogate` for the trust contract).
     """
+    if engine == "surrogate":
+        from repro.cpu.surrogate import surrogate_figure_point
+
+        return surrogate_figure_point(
+            benchmark,
+            technique,
+            l2_latency=l2_latency,
+            temp_c=temp_c,
+            decay_interval=decay_interval,
+            policy=policy,
+            adaptive=adaptive,
+            n_ops=n_ops,
+            seed=seed,
+            vdd=vdd,
+            target=target,
+        )
     _obs.incr("runner.figure_points")
     base = _baseline_cached(benchmark, l2_latency, n_ops, seed, vdd, engine)
     machine = MachineConfig().with_l2_latency(l2_latency)

@@ -70,6 +70,7 @@ def interval_sweep(
     seed: int = DEFAULT_SEED,
     scheduler: Scheduler | None = None,
     temps_c: tuple[float, ...] | None = None,
+    engine: str = "ooo",
 ) -> list[NetSavingsResult]:
     """Net-savings results across the decay-interval grid.
 
@@ -80,7 +81,29 @@ def interval_sweep(
     ``temps_c`` adds a temperature axis: each interval's result is
     expanded across the grid by the batched analytic re-reduction (see
     :func:`_expand_temperatures`; ordering is interval-major).
+
+    ``engine`` selects the timing tier for every point.  ``"surrogate"``
+    routes the whole grid through
+    :func:`repro.cpu.surrogate.surrogate_sweep` — served from the
+    calibration where the envelope allows, cycle-engine fallback (via
+    ``scheduler`` when given) everywhere else, with exact per-temperature
+    reduction instead of the first-order expansion.
     """
+    if engine == "surrogate":
+        from repro.cpu.surrogate import surrogate_sweep
+
+        results, _report = surrogate_sweep(
+            benchmark,
+            technique,
+            intervals=intervals,
+            l2_latencies=(l2_latency,),
+            temp_c=temp_c,
+            temps_c=temps_c,
+            n_ops=n_ops,
+            seed=seed,
+            scheduler=scheduler,
+        )
+        return results
     if scheduler is not None and _spec_compatible(technique):
         specs = [
             RunSpec(
@@ -91,6 +114,7 @@ def interval_sweep(
                 decay_interval=interval,
                 n_ops=n_ops,
                 seed=seed,
+                engine=engine,
             )
             for interval in intervals
         ]
@@ -105,6 +129,7 @@ def interval_sweep(
                 decay_interval=interval,
                 n_ops=n_ops,
                 seed=seed,
+                engine=engine,
             )
             for interval in intervals
         ],
@@ -236,14 +261,38 @@ def l2_latency_sweep(
     seed: int = DEFAULT_SEED,
     scheduler: Scheduler | None = None,
     temps_c: tuple[float, ...] | None = None,
+    engine: str = "ooo",
 ) -> list[NetSavingsResult]:
     """Net-savings results across the paper's L2-latency grid.
 
     ``temps_c`` adds a temperature axis to the grid, expanded by the
     batched analytic re-reduction (see :func:`_expand_temperatures`;
-    ordering is latency-major).
+    ordering is latency-major).  ``engine`` selects the timing tier;
+    ``"surrogate"`` routes the grid through
+    :func:`repro.cpu.surrogate.surrogate_sweep` (exact per-temperature
+    reduction, cycle fallback outside the calibration envelope).
     """
     kwargs = {} if decay_interval is None else {"decay_interval": decay_interval}
+    if engine == "surrogate":
+        from repro.cpu.surrogate import surrogate_sweep
+        from repro.experiments.runner import DEFAULT_DECAY_INTERVAL
+
+        results, _report = surrogate_sweep(
+            benchmark,
+            technique,
+            intervals=(
+                decay_interval
+                if decay_interval is not None
+                else DEFAULT_DECAY_INTERVAL,
+            ),
+            l2_latencies=latencies,
+            temp_c=temp_c,
+            temps_c=temps_c,
+            n_ops=n_ops,
+            seed=seed,
+            scheduler=scheduler,
+        )
+        return results
     if scheduler is not None and _spec_compatible(technique):
         specs = [
             RunSpec(
@@ -253,6 +302,7 @@ def l2_latency_sweep(
                 temp_c=temp_c,
                 n_ops=n_ops,
                 seed=seed,
+                engine=engine,
                 **kwargs,
             )
             for latency in latencies
@@ -267,6 +317,7 @@ def l2_latency_sweep(
                 temp_c=temp_c,
                 n_ops=n_ops,
                 seed=seed,
+                engine=engine,
                 **kwargs,
             )
             for latency in latencies
@@ -285,14 +336,39 @@ def temperature_sweep(
     decay_interval: int | None = None,
     n_ops: int = DEFAULT_N_OPS,
     seed: int = DEFAULT_SEED,
+    engine: str = "ooo",
 ) -> list[NetSavingsResult]:
     """Net-savings results across a dense temperature grid.
 
     One simulation at ``ref_temp_c``, then the batched analytic
     re-reduction across ``temps_c`` — a 100-point grid costs one run
     plus a single vectorised leakage-grid evaluation.
+
+    ``engine`` selects the timing tier for the anchor run.  With
+    ``"surrogate"`` no anchor simulation happens at all: every
+    temperature is reduced exactly through the calibrated surrogate
+    (which beats the first-order expansion used by the other engines),
+    falling back to the cycle engine outside the envelope.
     """
     kwargs = {} if decay_interval is None else {"decay_interval": decay_interval}
+    if engine == "surrogate":
+        from repro.cpu.surrogate import surrogate_sweep
+        from repro.experiments.runner import DEFAULT_DECAY_INTERVAL
+
+        results, _report = surrogate_sweep(
+            benchmark,
+            technique,
+            intervals=(
+                decay_interval
+                if decay_interval is not None
+                else DEFAULT_DECAY_INTERVAL,
+            ),
+            l2_latencies=(l2_latency,),
+            temps_c=temps_c,
+            n_ops=n_ops,
+            seed=seed,
+        )
+        return results
     anchor = figure_point(
         benchmark,
         technique,
@@ -300,6 +376,7 @@ def temperature_sweep(
         temp_c=ref_temp_c,
         n_ops=n_ops,
         seed=seed,
+        engine=engine,
         **kwargs,
     )
     from repro.experiments.sensitivity import temperature_profile

@@ -203,3 +203,111 @@ class TestEngineFlag:
                      "--engine", "fast"])
         assert code == 0
         assert "net savings" in capsys.readouterr().out
+
+    def test_surrogate_engine_run(self, capsys):
+        from repro.cli import main
+
+        # Default ops/seed: served straight from the committed calibration
+        # (no simulation), so this also proves the artifact is loadable.
+        code = main(["run", "gcc", "drowsy", "--engine", "surrogate"])
+        assert code == 0
+        assert "net savings" in capsys.readouterr().out
+
+    def test_rejects_unknown_engine(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            build_parser().parse_args(
+                ["sweep", "gcc", "drowsy", "--engine", "warp"]
+            )
+        assert err.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_sweep_engine_choices_cover_all_tiers(self):
+        for engine in ("ooo", "fast", "surrogate"):
+            args = build_parser().parse_args(
+                ["sweep", "gcc", "drowsy", "--engine", engine]
+            )
+            assert args.engine == engine
+
+
+class TestSurrogateCli:
+    def test_error_budget_requires_surrogate_engine(self, capsys):
+        from repro.cli import main
+
+        code = main(["sweep", "gcc", "drowsy", "--error-budget", "1.0"])
+        assert code == 2
+        assert "surrogate" in capsys.readouterr().err
+
+    def test_error_budget_rejects_nonpositive(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            build_parser().parse_args(
+                ["sweep", "gcc", "drowsy", "--engine", "surrogate",
+                 "--error-budget", "0"]
+            )
+        assert err.value.code == 2
+        assert "must be > 0" in capsys.readouterr().err
+
+    def test_surrogate_sweep_reports_serving(self, capsys):
+        from repro.cli import main
+
+        # Anchor-only grid at the committed configuration: every point is
+        # served; the one spot-check is the only simulation that runs.
+        code = main(
+            ["sweep", "gcc", "drowsy", "--engine", "surrogate",
+             "--intervals", "1024,4096"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best interval" in out
+        assert "points served" in out
+        assert "spot-check" in out
+
+    def test_surrogate_info_reads_committed_artifact(self, capsys):
+        from repro.cli import main
+
+        assert main(["surrogate", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint:" in out
+        assert "gcc/drowsy" in out
+        assert "envelope" in out
+
+    def test_surrogate_info_missing_artifact(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["surrogate", "info", str(tmp_path / "nope.json")]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_surrogate_calibrate_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.cpu.surrogate import SurrogateModel
+
+        out_path = tmp_path / "cal.json"
+        code = main(
+            ["surrogate", "calibrate", "--benchmarks", "gcc",
+             "--techniques", "drowsy", "--intervals", "1024,2048",
+             "--l2s", "5,8", "--ops", "1000", "--out", str(out_path)]
+        )
+        assert code == 0
+        assert "artifact written" in capsys.readouterr().out
+        model = SurrogateModel.load(out_path)
+        assert model.covers("gcc", "drowsy")
+        assert model.config.n_ops == 1000
+
+    def test_surrogate_calibrate_unknown_technique(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["surrogate", "calibrate", "--benchmarks", "gcc",
+             "--techniques", "quantum"]
+        )
+        assert code == 2
+        assert "unknown technique" in capsys.readouterr().err
+
+    def test_surrogate_calibrate_unknown_benchmark(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["surrogate", "calibrate", "--benchmarks", "nonesuch",
+             "--techniques", "drowsy"]
+        )
+        assert code == 2
+        assert "unknown benchmark" in capsys.readouterr().err

@@ -1,0 +1,578 @@
+"""The surrogate sweep tier's trust harness.
+
+The tentpole contract (see :mod:`repro.cpu.surrogate`): a calibrated
+surrogate serves whole sweep grids without simulating, every served point
+stays inside the documented :class:`ErrorBudget` against the cycle
+reference, anything outside the calibration envelope transparently falls
+back to the cycle engine bit-identically, and the committed calibration
+artifact is versioned, fingerprinted, and reproducible.  These tests are
+the enforcement — the tier is only trustworthy because they run in tier-1.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cpu.surrogate import (
+    DEFAULT_ERROR_BUDGET,
+    CalibrationConfig,
+    ErrorBudget,
+    GridPoint,
+    OutOfEnvelopeError,
+    SurrogateModel,
+    committed_artifact_path,
+    committed_model,
+    fit_exposure_factors,
+    surrogate_figure_point,
+    surrogate_sweep,
+)
+from repro.experiments.runner import figure_point, technique_by_name
+
+# Small calibration shared by the module: 2x2 anchors, short runs.  The
+# model object is self-contained data (it survives the autouse cache
+# reset), so the simulation cost is paid once for the whole module.
+N_OPS = 4_000
+SMALL = CalibrationConfig(
+    intervals=(1024, 4096), l2_latencies=(5, 17), n_ops=N_OPS
+)
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    return SurrogateModel.calibrate(["gcc"], ["drowsy"], SMALL)
+
+
+# Served anchor points reconstruct the cycle reference exactly up to one
+# float ulp (Counter summation order differs between the reconstructed and
+# the live accountant), so "exact" means <= 1e-12 relative here.
+EXACT = 1e-12
+
+
+def _close(surrogate, reference, rel=EXACT):
+    assert surrogate.net_savings_pct == pytest.approx(
+        reference.net_savings_pct, rel=rel, abs=1e-9
+    )
+    assert surrogate.perf_loss_pct == pytest.approx(
+        reference.perf_loss_pct, rel=rel, abs=1e-9
+    )
+    assert surrogate.leak_technique_j == pytest.approx(
+        reference.leak_technique_j, rel=rel
+    )
+    assert surrogate.leak_baseline_j == pytest.approx(
+        reference.leak_baseline_j, rel=rel
+    )
+
+
+class TestErrorBudget:
+    def test_scaled_proportional(self):
+        tight = DEFAULT_ERROR_BUDGET.scaled(0.5)
+        assert tight.net_savings_pp == DEFAULT_ERROR_BUDGET.net_savings_pp * 0.5
+        assert tight.leakage_rel == DEFAULT_ERROR_BUDGET.leakage_rel * 0.5
+        assert tight.perf_loss_pp == DEFAULT_ERROR_BUDGET.perf_loss_pp * 0.5
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DEFAULT_ERROR_BUDGET.scaled(0.0)
+        with pytest.raises(ValueError):
+            DEFAULT_ERROR_BUDGET.scaled(-1.0)
+
+    def test_violations_name_every_broken_term(self):
+        class P:
+            def __init__(self, net, perf, leak_t, leak_b):
+                self.net_savings_pct = net
+                self.perf_loss_pct = perf
+                self.leak_technique_j = leak_t
+                self.leak_baseline_j = leak_b
+
+        budget = ErrorBudget(net_savings_pp=0.5, leakage_rel=0.02,
+                             perf_loss_pp=0.25)
+        ref = P(40.0, 2.0, 1e-3, 2e-3)
+        ok = P(40.4, 2.2, 1.01e-3, 2.02e-3)
+        assert budget.within(ok, ref)
+        bad = P(41.0, 2.5, 1.2e-3, 2e-3)
+        broken = budget.violations(bad, ref)
+        assert len(broken) == 3
+        assert any("net savings" in v for v in broken)
+        assert any("leak_technique_j" in v for v in broken)
+        assert any("perf loss" in v for v in broken)
+
+    def test_zero_reference_leakage_not_divided(self):
+        class P:
+            net_savings_pct = 0.0
+            perf_loss_pct = 0.0
+            leak_technique_j = 1e-6
+            leak_baseline_j = 0.0
+
+        assert DEFAULT_ERROR_BUDGET.within(P(), P())
+
+
+class TestCalibrationConfig:
+    def test_rejects_single_anchor_axes(self):
+        with pytest.raises(ValueError, match="2 anchors"):
+            CalibrationConfig(intervals=(4096,))
+        with pytest.raises(ValueError, match="2 anchors"):
+            CalibrationConfig(l2_latencies=(11,))
+
+    def test_rejects_unsorted_anchors(self):
+        with pytest.raises(ValueError, match="sorted"):
+            CalibrationConfig(intervals=(4096, 1024))
+        with pytest.raises(ValueError, match="sorted"):
+            CalibrationConfig(l2_latencies=(17, 5))
+
+    def test_roundtrip(self):
+        assert CalibrationConfig.from_dict(SMALL.to_dict()) == SMALL
+
+
+class TestEnvelope:
+    def test_anchor_membership_on_plane_axes(self, small_model):
+        ok = GridPoint(1024, 5, 85.0, 0.9)
+        assert small_model.envelope_violations("gcc", "drowsy", ok) == []
+        # Between anchors is extrapolation, not interpolation.
+        between = GridPoint(2048, 5, 85.0, 0.9)
+        assert small_model.envelope_violations("gcc", "drowsy", between) == [
+            "interval"
+        ]
+        off_l2 = GridPoint(1024, 11, 85.0, 0.9)
+        assert small_model.envelope_violations("gcc", "drowsy", off_l2) == [
+            "l2_latency"
+        ]
+
+    def test_temperature_and_vdd_are_continuous_ranges(self, small_model):
+        assert not small_model.envelope_violations(
+            "gcc", "drowsy", GridPoint(1024, 5, 63.7, 0.83)
+        )
+        assert small_model.envelope_violations(
+            "gcc", "drowsy", GridPoint(1024, 5, 140.0, 0.9)
+        ) == ["temp_c"]
+        assert small_model.envelope_violations(
+            "gcc", "drowsy", GridPoint(1024, 5, 85.0, 1.2)
+        ) == ["vdd"]
+
+    def test_uncalibrated_pair(self, small_model):
+        point = GridPoint(1024, 5, 85.0, 0.9)
+        assert small_model.envelope_violations("mcf", "drowsy", point) == [
+            "uncalibrated"
+        ]
+        assert small_model.envelope_violations("gcc", "gated-vss", point) == [
+            "uncalibrated"
+        ]
+
+    def test_evaluate_grid_raises_out_of_envelope(self, small_model):
+        with pytest.raises(OutOfEnvelopeError, match="interval"):
+            small_model.evaluate_grid(
+                "gcc", "drowsy", intervals=(3000,), l2_latencies=(5,)
+            )
+        with pytest.raises(OutOfEnvelopeError, match="uncalibrated"):
+            small_model.evaluate_grid(
+                "mcf", "drowsy", intervals=(1024,), l2_latencies=(5,)
+            )
+
+
+class TestServedPointsMatchCycleReference:
+    """The heart of the contract: served points == the cycle engine."""
+
+    def test_anchor_point_all_axes(self, small_model):
+        reference = figure_point(
+            "gcc",
+            technique_by_name("drowsy"),
+            l2_latency=17,
+            temp_c=85.0,
+            decay_interval=1024,
+            n_ops=N_OPS,
+        )
+        served = small_model.evaluate(
+            "gcc", "drowsy", GridPoint(1024, 17, 85.0, 0.9)
+        )
+        _close(served, reference)
+        assert DEFAULT_ERROR_BUDGET.within(served, reference)
+
+    def test_off_calibration_temperature_is_still_exact(self, small_model):
+        """(T, Vdd) are reduced through the real models — no surrogate
+        error away from the calibration's own operating point."""
+        reference = figure_point(
+            "gcc",
+            technique_by_name("drowsy"),
+            l2_latency=5,
+            temp_c=47.5,
+            decay_interval=4096,
+            n_ops=N_OPS,
+        )
+        served = small_model.evaluate(
+            "gcc", "drowsy", GridPoint(4096, 5, 47.5, 0.9)
+        )
+        _close(served, reference)
+
+    def test_grid_matches_pointwise_evaluate(self, small_model):
+        grid = small_model.evaluate_grid(
+            "gcc",
+            "drowsy",
+            intervals=(1024, 4096),
+            l2_latencies=(5, 17),
+            temps_c=(60.0, 110.0),
+            vdds=(0.85, 0.95),
+        )
+        assert len(grid) == 16
+        i = 0
+        for interval in (1024, 4096):
+            for l2 in (5, 17):
+                for t in (60.0, 110.0):
+                    for v in (0.85, 0.95):
+                        point = small_model.evaluate(
+                            "gcc", "drowsy", GridPoint(interval, l2, t, v)
+                        )
+                        assert grid[i] == point
+                        assert grid[i].decay_interval == interval
+                        assert grid[i].l2_latency == l2
+                        assert grid[i].temp_c == t
+                        i += 1
+
+
+class TestCalibrationFit:
+    def test_exposure_fit_is_pure_function_of_records(self, small_model):
+        entry = small_model.entries["gcc/drowsy"]
+        refit = fit_exposure_factors(entry.baseline, entry.anchors, SMALL)
+        assert refit == entry.exposure
+
+    def test_exposure_factors_plausible(self, small_model):
+        exposure = small_model.entries["gcc/drowsy"].exposure
+        assert 0.0 <= exposure["mem_exposure"] <= 1.0
+        assert 0.0 <= exposure["baseline_mem_exposure"] <= 1.0
+        assert exposure["baseline_ipc"] > 0.0
+
+    def test_timing_config_feeds_fast_engine(self, small_model):
+        from repro.cpu.config import MachineConfig
+        from repro.experiments.runner import run_once
+
+        timing = small_model.timing_config("gcc", "drowsy")
+        out = run_once(
+            "gcc",
+            technique=technique_by_name("drowsy"),
+            machine=MachineConfig(),
+            n_ops=2000,
+            engine="fast",
+            timing=timing,
+        )
+        assert out.stats.cycles > 0
+
+    def test_rejects_ablated_technique(self):
+        from dataclasses import replace
+
+        ablated = replace(technique_by_name("drowsy"), wake_cycles=99)
+        with pytest.raises(ValueError, match="ablated"):
+            SurrogateModel.calibrate(["gcc"], [ablated], SMALL)
+
+
+class TestArtifactRoundtrip:
+    def test_payload_roundtrip_evaluates_identically(self, small_model, tmp_path):
+        path = tmp_path / "cal.json"
+        small_model.save(path)
+        loaded = SurrogateModel.load(path)
+        assert loaded.to_payload() == small_model.to_payload()
+        point = GridPoint(1024, 5, 85.0, 0.9)
+        assert loaded.evaluate("gcc", "drowsy", point) == small_model.evaluate(
+            "gcc", "drowsy", point
+        )
+
+    def test_stale_code_version_rejected(self, small_model):
+        payload = small_model.to_payload()
+        payload["code_version"] = "0"
+        del payload["fingerprint"]
+        with pytest.raises(ValueError, match="stale"):
+            SurrogateModel.from_payload(payload)
+
+    def test_unknown_schema_rejected(self, small_model):
+        payload = small_model.to_payload()
+        payload["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            SurrogateModel.from_payload(payload)
+
+    def test_corrupt_fingerprint_rejected(self, small_model, tmp_path):
+        path = tmp_path / "cal.json"
+        small_model.save(path)
+        payload = json.loads(path.read_text())
+        key = next(iter(payload["entries"]))
+        payload["entries"][key]["exposure"]["mem_exposure"] += 0.1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="corrupt"):
+            SurrogateModel.load(path)
+
+
+class TestCommittedArtifact:
+    """The versioned calibration shipped with the package."""
+
+    def test_exists_loads_and_covers_standard_pairs(self):
+        assert committed_artifact_path().exists()
+        model = committed_model()
+        assert model is not None
+        for benchmark in ("gcc", "mcf"):
+            for technique in ("drowsy", "gated-vss"):
+                assert model.covers(benchmark, technique)
+        # Anchors the whole standard sweep plane.
+        from repro.cpu.config import PAPER_L2_LATENCIES
+        from repro.experiments.runner import SWEEP_INTERVALS
+
+        assert model.config.intervals == SWEEP_INTERVALS
+        assert model.config.l2_latencies == PAPER_L2_LATENCIES
+        assert model.config.n_ops == 20_000
+        assert model.config.seed == 1
+
+    def test_recalibration_reproduces_stored_records(self):
+        """Calibration-drift regression: re-running one committed anchor
+        must reproduce the stored record exactly.  If the simulator's
+        behaviour changes, this fails and the artifact (plus
+        ``CODE_VERSION``) must be regenerated together."""
+        from repro.cpu.config import MachineConfig
+        from repro.cpu.surrogate import _RunRecord
+        from repro.experiments.runner import run_once
+
+        model = committed_model()
+        entry = model.entries["gcc/drowsy"]
+        interval, l2 = 4096, 11
+        stored = entry.anchors[interval][l2]
+        rerun = _RunRecord.from_run(
+            run_once(
+                "gcc",
+                technique=technique_by_name("drowsy"),
+                machine=MachineConfig().with_l2_latency(l2),
+                decay_interval=interval,
+                n_ops=model.config.n_ops,
+                seed=model.config.seed,
+                vdd=model.config.vdd,
+            )
+        )
+        assert rerun == stored
+
+    def test_stored_exposure_matches_refit(self):
+        model = committed_model()
+        for key, entry in model.entries.items():
+            refit = fit_exposure_factors(
+                entry.baseline, entry.anchors, model.config
+            )
+            for name, value in refit.items():
+                assert value == pytest.approx(
+                    entry.exposure[name], rel=1e-9
+                ), (key, name)
+
+
+class TestSurrogateFigurePoint:
+    def test_served_from_committed_artifact(self):
+        served = surrogate_figure_point(
+            "gcc", technique_by_name("drowsy"), l2_latency=11, temp_c=110.0
+        )
+        reference = figure_point(
+            "gcc", technique_by_name("drowsy"), l2_latency=11, temp_c=110.0
+        )
+        _close(served, reference)
+
+    def test_nonstandard_request_falls_back_bit_identically(self):
+        """A seed the artifact does not cover: the figure-point path never
+        calibrates on demand; it must return the cycle result itself."""
+        direct = figure_point(
+            "gcc", technique_by_name("drowsy"), n_ops=2000, seed=7
+        )
+        via_surrogate = surrogate_figure_point(
+            "gcc", technique_by_name("drowsy"), n_ops=2000, seed=7
+        )
+        assert via_surrogate == direct
+
+    def test_engine_keyword_routes_here(self):
+        a = figure_point(
+            "gcc", technique_by_name("drowsy"), engine="surrogate"
+        )
+        b = surrogate_figure_point("gcc", technique_by_name("drowsy"))
+        assert a == b
+
+
+class TestSurrogateSweepFallback:
+    def test_out_of_envelope_points_fall_back_bit_identically(self, small_model):
+        results, report = surrogate_sweep(
+            "gcc",
+            "drowsy",
+            intervals=(1024, 3000),
+            l2_latencies=(5,),
+            temp_c=85.0,
+            n_ops=N_OPS,
+            model=small_model,
+            spot_checks=0,
+        )
+        assert report.total == 2
+        assert report.served == 1
+        assert report.fallbacks == 1
+        assert report.fallback_reasons == {"interval": 1}
+        direct = figure_point(
+            "gcc",
+            technique_by_name("drowsy"),
+            l2_latency=5,
+            temp_c=85.0,
+            decay_interval=3000,
+            n_ops=N_OPS,
+        )
+        assert results[1] == direct  # dataclass equality: bit-identical
+        _close(results[0], figure_point(
+            "gcc",
+            technique_by_name("drowsy"),
+            l2_latency=5,
+            temp_c=85.0,
+            decay_interval=1024,
+            n_ops=N_OPS,
+        ))
+
+    def test_spot_check_passes_on_honest_model(self, small_model):
+        _results, report = surrogate_sweep(
+            "gcc",
+            "drowsy",
+            intervals=(1024, 4096),
+            l2_latencies=(5, 17),
+            temp_c=85.0,
+            n_ops=N_OPS,
+            model=small_model,
+            spot_checks=2,
+        )
+        assert report.spot_checks == 2
+        assert report.spot_check_failures == 0
+        assert report.served == 4
+        assert report.fallbacks == 0
+
+    def test_tampered_calibration_caught_by_spot_check(self, small_model):
+        """Drift defence: corrupt the calibration in memory and the
+        spot-check must replace the lying value with the cycle reference."""
+        tampered = SurrogateModel.from_payload(small_model.to_payload())
+        for row in tampered.entries["gcc/drowsy"].anchors.values():
+            for rec in row.values():
+                rec.standby["standby_line_cycles"] *= 0.5
+        results, report = surrogate_sweep(
+            "gcc",
+            "drowsy",
+            intervals=(1024,),
+            l2_latencies=(5,),
+            temp_c=85.0,
+            n_ops=N_OPS,
+            model=tampered,
+            spot_checks=1,
+        )
+        assert report.spot_check_failures == 1
+        assert report.served == 0
+        assert report.fallbacks == 1
+        direct = figure_point(
+            "gcc",
+            technique_by_name("drowsy"),
+            l2_latency=5,
+            temp_c=85.0,
+            decay_interval=1024,
+            n_ops=N_OPS,
+        )
+        assert results[0] == direct
+
+    def test_ablated_technique_never_served(self, small_model):
+        from dataclasses import replace
+
+        ablated = replace(technique_by_name("drowsy"), wake_cycles=99)
+        _results, report = surrogate_sweep(
+            "gcc",
+            ablated,
+            intervals=(1024,),
+            l2_latencies=(5,),
+            temp_c=85.0,
+            n_ops=N_OPS,
+            spot_checks=0,
+        )
+        assert report.served == 0
+        assert report.fallbacks == 1
+        assert report.fallback_reasons == {"technique": 1}
+
+    def test_scheduler_fallback_matches_direct_and_warms_store(
+        self, small_model, tmp_path
+    ):
+        """Fallback through a scheduler must store under honest cycle
+        hashes: a later all-cycle run of the same point is a warm hit
+        returning the identical result."""
+        from repro.exec import ResultStore, RunSpec, Scheduler
+
+        store = ResultStore(tmp_path / "cache")
+        scheduler = Scheduler(max_workers=1, store=store)
+        results, report = surrogate_sweep(
+            "gcc",
+            "drowsy",
+            intervals=(3000,),
+            l2_latencies=(5,),
+            temp_c=85.0,
+            n_ops=N_OPS,
+            model=small_model,
+            spot_checks=0,
+            scheduler=scheduler,
+        )
+        assert report.fallbacks == 1
+        spec = RunSpec(
+            benchmark="gcc",
+            technique="drowsy",
+            l2_latency=5,
+            temp_c=85.0,
+            decay_interval=3000,
+            n_ops=N_OPS,
+            engine="ooo",
+        )
+        cached = store.get(spec)
+        assert cached is not None
+        assert cached == results[0]
+
+
+class TestSweepLayerIntegration:
+    def test_interval_sweep_surrogate_engine(self, small_model, monkeypatch):
+        import repro.cpu.surrogate as surrogate_mod
+        from repro.experiments.sweeps import interval_sweep
+
+        monkeypatch.setattr(
+            surrogate_mod, "committed_model", lambda: small_model
+        )
+        results = interval_sweep(
+            "gcc",
+            technique_by_name("drowsy"),
+            intervals=(1024, 4096),
+            l2_latency=5,
+            temp_c=85.0,
+            n_ops=N_OPS,
+            engine="surrogate",
+        )
+        assert [r.decay_interval for r in results] == [1024, 4096]
+        reference = figure_point(
+            "gcc",
+            technique_by_name("drowsy"),
+            l2_latency=5,
+            temp_c=85.0,
+            decay_interval=1024,
+            n_ops=N_OPS,
+        )
+        _close(results[0], reference)
+
+    def test_temperature_sweep_surrogate_is_exact_per_temperature(
+        self, small_model, monkeypatch
+    ):
+        """The surrogate beats the first-order profile here: every
+        temperature is a fresh exact reduction, not a scaled anchor."""
+        import repro.cpu.surrogate as surrogate_mod
+        from repro.experiments.sweeps import temperature_sweep
+
+        monkeypatch.setattr(
+            surrogate_mod, "committed_model", lambda: small_model
+        )
+        results = temperature_sweep(
+            "gcc",
+            technique_by_name("drowsy"),
+            temps_c=(45.0, 110.0),
+            l2_latency=5,
+            decay_interval=1024,
+            n_ops=N_OPS,
+            engine="surrogate",
+        )
+        for result, temp in zip(results, (45.0, 110.0)):
+            reference = figure_point(
+                "gcc",
+                technique_by_name("drowsy"),
+                l2_latency=5,
+                temp_c=temp,
+                decay_interval=1024,
+                n_ops=N_OPS,
+            )
+            _close(result, reference)
