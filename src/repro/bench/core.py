@@ -354,43 +354,68 @@ def obs_overhead_comparison(*, repeats: int = 3, n_ops: int = _N_OPS) -> dict:
     attached — file I/O is per-campaign, not per-cycle, so it is not part
     of the hot-path overhead this guards.  The two legs are interleaved
     so drift (thermal, scheduler) hits both equally; min-of-N per leg.
-    CI gates ``overhead_frac`` against :data:`OBS_OVERHEAD_CEILING`.
+    CI gates ``overhead_frac`` against :data:`OBS_OVERHEAD_CEILING`, and
+    ``registry_overhead_frac`` — a third leg that additionally feeds the
+    live-monitoring metrics registry with exactly the per-run calls the
+    scheduler makes (started/finished/cache-hit) — against the same
+    ceiling, so the ``repro watch`` plumbing can never creep into the
+    hot path unnoticed.
     """
     from repro import obs
     from repro.cpu.config import MachineConfig
     from repro.experiments.runner import run_once, technique_by_name
+    from repro.obs import metrics as obs_metrics
 
     machine = MachineConfig().with_l2_latency(17)
     technique = technique_by_name("gated-vss")
     perf_counter = time.perf_counter
 
-    def one(enabled: bool) -> float:
+    def one(enabled: bool, registry: bool = False) -> float:
         if enabled:
             obs.enable()
+        if registry:
+            obs_metrics.reset_registry()
         try:
             t0 = perf_counter()
+            if registry:
+                # The scheduler's per-run registry feed, verbatim: one
+                # started/finished pair around the run plus a cache-hit
+                # tick — the full per-run cost of live monitoring.
+                obs_metrics.record_run_started()
             run_once(
                 "mcf", technique=technique, machine=machine, n_ops=n_ops
             )
+            if registry:
+                obs_metrics.record_run_finished(
+                    wall_s=perf_counter() - t0, cpu_s=0.0, max_rss_kb=0.0
+                )
+                obs_metrics.record_cache_hit("store")
             return perf_counter() - t0
         finally:
+            if registry:
+                obs_metrics.reset_registry()
             if enabled:
                 obs.reset()
 
     one(False)
     one(True)  # warm both paths
-    disabled_times, enabled_times = [], []
+    one(True, registry=True)
+    disabled_times, enabled_times, registry_times = [], [], []
     for _ in range(repeats):
         disabled_times.append(one(False))
         enabled_times.append(one(True))
+        registry_times.append(one(True, registry=True))
     disabled = min(disabled_times)
     enabled = min(enabled_times)
+    with_registry = min(registry_times)
     return {
         "scenario": "run_once mcf/gated-vss L2=17",
         "n_ops": n_ops,
         "disabled_seconds": disabled,
         "enabled_seconds": enabled,
+        "registry_seconds": with_registry,
         "overhead_frac": enabled / disabled - 1.0,
+        "registry_overhead_frac": with_registry / disabled - 1.0,
     }
 
 
@@ -559,7 +584,12 @@ def run_bench(
 
     say("bench: observability overhead (telemetry on vs off) ...")
     report["obs_overhead"] = obs_overhead_comparison(repeats=min(repeats, 3))
-    say(f"  {report['obs_overhead']['overhead_frac'] * 100.0:+.2f}% with telemetry enabled")
+    say(
+        f"  {report['obs_overhead']['overhead_frac'] * 100.0:+.2f}% with "
+        f"telemetry enabled, "
+        f"{report['obs_overhead']['registry_overhead_frac'] * 100.0:+.2f}% "
+        f"with the metrics registry fed too"
+    )
 
     say("bench: surrogate sweep tier (calibrated grid vs cycle engine) ...")
     report["surrogate"] = surrogate_comparison(repeats=min(repeats, 3))
@@ -621,6 +651,18 @@ def check_regression(
             f"observability overhead {overhead:.1%} exceeds the "
             f"{OBS_OVERHEAD_CEILING:.0%} ceiling (telemetry must stay off "
             f"the disabled hot path)"
+        )
+    registry_overhead = (report.get("obs_overhead") or {}).get(
+        "registry_overhead_frac"
+    )
+    if (
+        registry_overhead is not None
+        and registry_overhead > OBS_OVERHEAD_CEILING
+    ):
+        failures.append(
+            f"metrics-registry overhead {registry_overhead:.1%} exceeds "
+            f"the {OBS_OVERHEAD_CEILING:.0%} ceiling (live-monitoring "
+            f"feeds must stay off the hot path)"
         )
 
     # Surrogate-tier gates: absolute speedup floor plus the live trust

@@ -11,6 +11,8 @@ Usage (installed as the ``repro-paper`` console script, or via
     repro-paper reproduce -j 4         # the whole campaign, 4 workers
     repro-paper store stats results/.cache
     repro-paper store gc results/.cache --max-bytes 256M --max-age 7d
+    repro-paper watch results/         # live terminal dashboard
+    repro-paper report results/ --live # auto-refreshing live.html
 
 Figure regeneration runs full simulations; expect seconds (``run``) to
 minutes (``figure 12_13``).  ``figure``, ``sweep`` and ``reproduce``
@@ -639,19 +641,51 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_stats(args) -> int:
-    from repro.obs.views import aggregate, iter_campaign_events, render_stats
+    import json
+
+    from repro.obs.views import (
+        aggregate,
+        iter_campaign_events,
+        render_stats,
+        summary_to_dict,
+    )
 
     try:
         events = iter_campaign_events(args.campaign)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(render_stats(aggregate(events)))
+    summary = aggregate(events)
+    if args.format == "json":
+        print(json.dumps(summary_to_dict(summary), indent=2, sort_keys=True))
+    else:
+        print(render_stats(summary))
     return 0
+
+
+def _cmd_watch(args) -> int:
+    from repro.obs.watch import watch_campaign
+
+    return watch_campaign(
+        args.campaign,
+        interval=args.interval,
+        once=args.once,
+        as_json=args.json,
+    )
 
 
 def _cmd_report(args) -> int:
     import os
+
+    if args.live:
+        from repro.obs.live import live_report
+
+        return live_report(
+            args.campaign, interval=args.interval, once=args.once
+        )
+    if args.once:
+        print("error: --once only applies with --live", file=sys.stderr)
+        return 2
 
     from repro.obs.report import build_report
 
@@ -843,7 +877,35 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign",
         help="campaign output directory (or an events.jsonl path directly)",
     )
+    stats.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format; 'json' emits the machine-readable summary "
+        "shared with 'watch --json' and the live status page",
+    )
     stats.set_defaults(func=_cmd_stats)
+
+    watch = sub.add_parser(
+        "watch",
+        help="live terminal dashboard tailing a campaign's event log",
+    )
+    watch.add_argument(
+        "campaign",
+        help="campaign output directory (or an events.jsonl path directly)",
+    )
+    watch.add_argument(
+        "--interval", type=_positive_float, default=1.0,
+        help="redraw interval in seconds (default 1.0)",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (exit 2 if no event log yet)",
+    )
+    watch.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable state snapshot instead of the "
+        "dashboard (one JSON object per frame)",
+    )
+    watch.set_defaults(func=_cmd_watch)
 
     storep = sub.add_parser(
         "store",
@@ -911,6 +973,20 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--output", default=None,
         help="HTML output path (default: <campaign>/report.html)",
+    )
+    report.add_argument(
+        "--live", action="store_true",
+        help="instead of a one-shot report, keep an auto-refreshing "
+        "live.html next to the event log, atomically rewritten until the "
+        "campaign finishes",
+    )
+    report.add_argument(
+        "--interval", type=_positive_float, default=2.0,
+        help="live rewrite interval in seconds (default 2.0; --live only)",
+    )
+    report.add_argument(
+        "--once", action="store_true",
+        help="write the live page once and exit (--live only)",
     )
     report.set_defaults(func=_cmd_report)
 

@@ -42,9 +42,11 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro import obs as _obs
+from repro.obs import metrics as _metrics
 from repro.obs import timeseries as _ts
 from repro.exec.lifecycle import CampaignManifest, SingleFlight
 from repro.exec.metrics import ExecutionMetrics
@@ -191,6 +193,7 @@ class Scheduler:
                 cache_hits += 1
                 if observed:
                     _obs.emit("cache_hit", spec=key, slot=i, source="store")
+                    _metrics.record_cache_hit("store")
             else:
                 pending[key] = [i]
 
@@ -240,6 +243,7 @@ class Scheduler:
                             slot=slot,
                             source="single-flight",
                         )
+                        _metrics.record_cache_hit("single-flight")
                 else:
                     note(
                         f"single-flight holder for {key[:16]} vanished; "
@@ -261,6 +265,7 @@ class Scheduler:
                 cache_hits += 1
                 if observed:
                     _obs.emit("cache_hit", spec=key, slot=i, source="batch")
+                    _metrics.record_cache_hit("batch")
 
         wall = time.perf_counter() - start
         if self.metrics is not None:
@@ -278,6 +283,38 @@ class Scheduler:
                 f"batch: {len(specs)} jobs, {cache_hits} cached{deduped}, "
                 f"{executed} executed in {wall:.1f} s ({rate:.2f} runs/s)"
             )
+        if observed:
+            # Batch boundary: one event for tailers, a registry refresh
+            # for scrapers.  The store gauges read index.json once per
+            # batch — never per run — so the accounting sidecar stays off
+            # the hot path.
+            _obs.emit(
+                "batch_finished",
+                jobs=len(specs),
+                cache_hits=cache_hits,
+                executed=executed,
+                dedup_waits=dedup_waits,
+                wall_s=wall,
+            )
+            _metrics.record_batch_finished(
+                jobs=len(specs),
+                cache_hits=cache_hits,
+                executed=executed,
+                wall_s=wall,
+            )
+            if self.store is not None:
+                payload = self.store.index.load()
+                entries = payload.get("entries") or {}
+                _metrics.record_store_index(
+                    entries=len(entries),
+                    total_bytes=sum(
+                        int(e.get("size") or 0) for e in entries.values()
+                    ),
+                    generation=int(payload.get("generation") or 0),
+                )
+            log_path = _obs.log_path()
+            if log_path:
+                _metrics.write_registry_snapshot(Path(log_path).parent)
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
 
@@ -318,6 +355,7 @@ class Scheduler:
                         slot=i,
                         reason="pool timeout",
                     )
+                    _metrics.record_run_requeued()
             failed.extend(self._run_serial(specs, abandoned, results, note))
         for attempt in range(self.retries):
             if not failed:
@@ -337,6 +375,7 @@ class Scheduler:
                         attempt=attempt + 1,
                         reason=repr(exc),
                     )
+                    _metrics.record_run_retried()
             failed = self._run_serial(
                 specs, [i for i, _exc in failed], results, note
             )
@@ -363,6 +402,7 @@ class Scheduler:
             key = specs[i].content_hash() if observed else None
             if observed:
                 _obs.emit("run_started", spec=key, slot=i, pool=False)
+                _metrics.record_run_started()
             try:
                 if observed:
                     result, meta = execute_spec_observed(specs[i])
@@ -372,12 +412,18 @@ class Scheduler:
                 failed.append((i, exc))
                 if observed:
                     _obs.emit("run_failed", spec=key, slot=i, error=repr(exc))
+                    _metrics.record_run_failed()
                 continue
             if observed:
                 series = meta.pop("timeseries", None)
                 if series:
                     _obs.emit_series(spec=key, payload=series)
                 _obs.emit("run_finished", spec=key, slot=i, **meta)
+                _metrics.record_run_finished(
+                    wall_s=meta.get("wall_s", 0.0),
+                    cpu_s=meta.get("cpu_s", 0.0),
+                    max_rss_kb=meta.get("max_rss_kb", 0.0),
+                )
             self._commit(specs[i], result, results, i)
             if len(todo) > 1 and (n % step == 0 or n == len(todo)):
                 note(f"  jobs {n}/{len(todo)} done")
@@ -418,8 +464,10 @@ class Scheduler:
                         slot=i,
                         pool=True,
                     )
+                    _metrics.record_run_started()
             pending = set(futures)
             last_progress = start
+            last_beat = start
             while pending:
                 timeout = self.heartbeat_s if observed else None
                 if deadline is not None:
@@ -444,6 +492,7 @@ class Scheduler:
                                 slot=i,
                                 error=repr(exc),
                             )
+                            _metrics.record_run_failed()
                         continue
                     if observed:
                         result, meta = value
@@ -452,6 +501,11 @@ class Scheduler:
                         if series:
                             _obs.emit_series(spec=key, payload=series)
                         _obs.emit("run_finished", spec=key, slot=i, **meta)
+                        _metrics.record_run_finished(
+                            wall_s=meta.get("wall_s", 0.0),
+                            cpu_s=meta.get("cpu_s", 0.0),
+                            max_rss_kb=meta.get("max_rss_kb", 0.0),
+                        )
                     else:
                         result = value
                     self._commit(specs[i], result, results, i)
@@ -480,20 +534,32 @@ class Scheduler:
                                 slot=i,
                                 budget_s=budget,
                             )
+                            _metrics.record_run_timeout()
                     wait_at_shutdown = False
                     break
-                if pending and not finished and observed:
-                    # Nothing completed for a whole heartbeat interval:
-                    # surface the stragglers.
+                if (
+                    pending
+                    and observed
+                    and (not finished or now - last_beat >= self.heartbeat_s)
+                ):
+                    # Periodic progress beat: fires when nothing completed
+                    # for a whole interval (the straggler case) and at
+                    # least once per interval while the pool is draining,
+                    # so a live tailer always has a recent done/total
+                    # picture even between run events.
                     _obs.emit(
                         "heartbeat",
                         outstanding=[
                             specs[futures[f]].content_hash()[:16]
                             for f in pending
                         ],
+                        done=done_count,
+                        total=len(todo),
+                        in_flight=len(pending),
                         elapsed_s=now - start,
                         stalled_s=now - last_progress,
                     )
+                    last_beat = now
         except BaseException:
             wait_at_shutdown = False
             raise

@@ -18,11 +18,13 @@ minutes; pass ``quick=True`` to shrink the runs for a smoke-level pass.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
 from repro import obs
+from repro.obs import metrics as obs_metrics
 from repro.exec import ExecutionMetrics, ResultStore, Scheduler
 from repro.experiments.export import (
     best_interval_figure_to_dict,
@@ -128,14 +130,37 @@ def run_campaign(
     owned_obs = observe and not obs.is_enabled()
     if owned_obs:
         obs.enable(out / "events.jsonl")
+        # A campaign that owns its log also owns the metrics registry:
+        # start from zero so the snapshots describe this campaign only.
+        obs_metrics.reset_registry()
+    started = time.time()
+    status = "failed"
     try:
-        return _run_campaign_body(
+        outcome = _run_campaign_body(
             out, n_ops, extra, result, note, store, metrics, scheduler,
             jobs=jobs,
         )
+        status = "ok"
+        return outcome
     finally:
         if owned_obs:
             obs.emit("counters", counters=obs.counters(), spans=obs.span_stats())
+            # The terminal event: tailers use it to distinguish "done"
+            # from "stalled" without ever polling our pid.  Emitted from
+            # here — not the scheduler, which finishes once per *batch* —
+            # and last, so a tailed state stays terminal once it folds.
+            obs.emit(
+                "campaign_finished",
+                status=status,
+                jobs_total=metrics.jobs_total,
+                runs_executed=metrics.jobs_executed,
+                cache_hits=metrics.cache_hits,
+                failures=metrics.failures,
+                retries=metrics.retries,
+                timeouts=metrics.timeouts,
+                wall_s=time.time() - started,
+            )
+            obs_metrics.write_registry_snapshot(out)
             obs.disable()
 
 

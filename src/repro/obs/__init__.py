@@ -3,9 +3,14 @@
 ``repro.obs`` gives every layer of the simulator a common place to report
 *how* it ran without changing *what* it computes: hierarchical timing
 spans and named counters (:func:`span` / :func:`incr`), a structured
-JSONL event log per campaign (:mod:`repro.obs.events`), and the
+JSONL event log per campaign (:mod:`repro.obs.events`), the
 aggregation behind the ``repro trace`` / ``repro stats`` CLI views
-(:mod:`repro.obs.views`).
+(:mod:`repro.obs.views`), and — new in this era — live monitoring: a
+Prometheus-style metrics registry (:mod:`repro.obs.metrics`), crash-safe
+log tailing (:mod:`repro.obs.tail`), the :class:`CampaignState` fold
+behind ``repro watch`` (:mod:`repro.obs.state` / :mod:`repro.obs.watch`)
+and the auto-refreshing ``live.html`` status page
+(:mod:`repro.obs.live`).
 
 Everything hangs off one enable flag.  While disabled (the default)
 every instrumentation site reduces to a single attribute check or a
@@ -39,7 +44,22 @@ from repro.obs.core import (
     span,
     span_stats,
 )
-from repro.obs.events import EVENT_SCHEMA_VERSION, EventLog, read_events
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    EventLog,
+    read_events,
+    read_events_incremental,
+    read_jsonl_incremental,
+)
+from repro.obs.metrics import (
+    METRICS_JSON_FILENAME,
+    METRICS_PROM_FILENAME,
+    METRICS_SCHEMA_VERSION,
+    MetricsRegistry,
+    registry,
+    reset_registry,
+)
+from repro.obs.tail import JsonlTailer, TailChunk
 from repro.obs.timeseries import (
     SERIES_SCHEMA_VERSION,
     TIMESERIES_FILENAME,
@@ -50,12 +70,20 @@ from repro.obs.timeseries import (
 )
 
 __all__ = [
+    "CampaignMonitor",
+    "CampaignState",
     "EVENT_SCHEMA_VERSION",
     "EventLog",
+    "JsonlTailer",
+    "METRICS_JSON_FILENAME",
+    "METRICS_PROM_FILENAME",
+    "METRICS_SCHEMA_VERSION",
+    "MetricsRegistry",
     "RunRecorder",
     "SERIES_SCHEMA_VERSION",
     "Series",
     "TIMESERIES_FILENAME",
+    "TailChunk",
     "counters",
     "disable",
     "emit",
@@ -66,10 +94,27 @@ __all__ = [
     "log_path",
     "phase",
     "read_events",
+    "read_events_incremental",
+    "read_jsonl_incremental",
     "read_timeseries",
+    "registry",
     "reset",
+    "reset_registry",
     "resolve_timeseries_path",
     "series_path",
     "span",
     "span_stats",
 ]
+
+
+def __getattr__(name: str):
+    # CampaignState/CampaignMonitor live in repro.obs.state, which pulls
+    # in the views aggregator and, through it, repro.experiments — a
+    # module that itself imports repro.obs.  Resolving them lazily keeps
+    # the package importable from the instrumented layers without a
+    # circular import.
+    if name in ("CampaignMonitor", "CampaignState"):
+        from repro.obs import state
+
+        return getattr(state, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -30,6 +30,10 @@ by the instrumented layers:
 ``store_gc``        a store GC pass ran (evicted/kept/pinned counts)
 ``store_compacted`` empty shards dropped, index re-anchored to disk
 ``store_swept``     orphaned .tmp/claim/manifest litter removed
+``batch_finished``  a scheduler batch completed (jobs/cached/executed/wall)
+``campaign_finished``  the campaign's terminal event: status, totals and
+                    wall seconds — tailers use it to tell "done" from
+                    "stalled" without polling the writer pid
 ``counters``        final counter/span snapshot, written at campaign end
 ==================  =====================================================
 
@@ -97,16 +101,68 @@ class EventLog:
             self._fh.close()
 
 
+def parse_jsonl_line(raw: bytes) -> dict[str, Any] | None:
+    """One JSONL line -> dict, or None for garbage (never raises)."""
+    raw = raw.strip()
+    if not raw:
+        return None
+    try:
+        record = json.loads(raw.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def read_jsonl_incremental(
+    path: str | Path, offset: int = 0
+) -> tuple[list[dict[str, Any]], int]:
+    """Parse complete JSONL lines from ``offset``; -> ``(records, resume)``.
+
+    Only newline-terminated lines are consumed: a truncated/partial final
+    line — a writer caught mid-``write`` — is *skipped without advancing
+    past it*, so a tailer polling with the returned resume offset picks
+    the completed line up on its next pass instead of losing it (or worse,
+    parsing half of it).  Garbage complete lines are skipped but consumed.
+    A vanished file yields ``([], offset)``.
+    """
+    try:
+        with Path(path).open("rb") as fh:
+            if offset:
+                fh.seek(offset)
+            data = fh.read()
+    except FileNotFoundError:
+        return [], offset
+    end = data.rfind(b"\n")
+    if end < 0:
+        return [], offset
+    records = []
+    for raw in data[: end + 1].splitlines():
+        record = parse_jsonl_line(raw)
+        if record is not None:
+            records.append(record)
+    return records, offset + end + 1
+
+
+def read_events_incremental(
+    path: str | Path, offset: int = 0
+) -> tuple[list[dict[str, Any]], int]:
+    """Like :func:`read_jsonl_incremental`, keeping only event records."""
+    records, resume = read_jsonl_incremental(path, offset)
+    return [r for r in records if "event" in r], resume
+
+
 def read_events(path: str | Path) -> Iterator[dict[str, Any]]:
-    """Yield parsed events from a JSONL log, skipping torn/garbage lines."""
-    with Path(path).open("r", encoding="utf-8") as fh:
+    """Yield parsed events from a JSONL log, skipping torn/garbage lines.
+
+    Streams line by line (constant memory on multi-GB logs).  A final
+    line with no trailing newline — a campaign writer caught mid-write —
+    is never yielded, matching :func:`read_events_incremental`, so a
+    render-once view and a tailer agree on what "the log so far" means.
+    """
+    with Path(path).open("rb") as fh:
         for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if isinstance(record, dict) and "event" in record:
+            if not line.endswith(b"\n"):
+                break  # torn tail mid-write; a later read will complete it
+            record = parse_jsonl_line(line)
+            if record is not None and "event" in record:
                 yield record

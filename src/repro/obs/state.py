@@ -1,0 +1,356 @@
+"""The live campaign state model behind ``repro watch`` and ``--live``.
+
+A :class:`CampaignState` folds a (possibly still-growing) event stream
+into everything a dashboard redraws from:
+
+* the same per-phase :class:`~repro.obs.views.PhaseSummary` roll-up the
+  post-hoc ``repro stats`` view uses (one aggregation path, two tenses);
+* the set of runs **in flight right now** (started, not yet finished /
+  failed / abandoned), each with its start timestamp;
+* an EWMA of run wall time and of completion throughput, and the ETA
+  they imply for the work currently outstanding;
+* liveness: the writer pid, the age of the last event, whether a
+  terminal ``campaign_finished`` event has been seen;
+* anomaly flags — stragglers (an in-flight run far beyond the EWMA
+  wall), error rate (failures dominating finishes), and a stall (no
+  events, writer pid dead, no terminal event — the campaign died).
+
+Feed it records one at a time (:meth:`CampaignState.apply`) from a
+:class:`~repro.obs.tail.JsonlTailer`, or use :class:`CampaignMonitor`
+which bundles the two and survives log rotation by resetting state.
+The model is pure folding — it never touches the filesystem — so it is
+equally the in-process state a future ``repro serve`` daemon would keep
+per campaign and push over HTTP.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.obs.tail import JsonlTailer
+from repro.obs.views import (
+    EVENTS_FILENAME,
+    CampaignSummary,
+    _Aggregator,
+    summary_to_dict,
+)
+
+__all__ = [
+    "Anomaly",
+    "CampaignMonitor",
+    "CampaignState",
+    "STATE_SCHEMA_VERSION",
+]
+
+STATE_SCHEMA_VERSION = 1
+
+#: EWMA smoothing factor for run wall time and completion rate.
+EWMA_ALPHA = 0.25
+
+#: An in-flight run this many times the EWMA wall is a straggler ...
+STRAGGLER_FACTOR = 4.0
+#: ... but never before this many absolute seconds.
+STRAGGLER_MIN_S = 10.0
+
+#: Error-rate anomaly: at least this many failures and ...
+ERROR_MIN_FAILURES = 3
+#: ... failures making up more than this fraction of settled runs.
+ERROR_RATE = 0.2
+
+#: No events for this long + a dead writer pid = stalled campaign.
+STALL_AFTER_S = 60.0
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe; unknown errors count as alive."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:  # EPERM and friends: something is running there
+        return True
+    return True
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One flagged condition (kind: ``straggler``/``errors``/``stall``)."""
+
+    kind: str
+    detail: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {"kind": self.kind, "detail": self.detail}
+
+
+class CampaignState:
+    """Event-stream fold: progress, throughput, liveness, anomalies."""
+
+    def __init__(self) -> None:
+        self._agg = _Aggregator()
+        #: (spec, slot) -> the run_started record (carries ts/phase/pool).
+        self.in_flight: dict[tuple[str, int], dict[str, Any]] = {}
+        self.opened_ts: float | None = None
+        self.last_event_ts: float | None = None
+        self.last_event_kind: str = ""
+        self.writer_pid: int = 0
+        self.finished: dict[str, Any] | None = None
+        self.last_heartbeat: dict[str, Any] | None = None
+        self.batches: int = 0
+        self.ewma_wall_s: float | None = None
+        self.ewma_rate: float | None = None  # completions per second
+        self._last_done_ts: float | None = None
+        self.events_applied: int = 0
+
+    # ------------------------------------------------------------------
+    # Folding
+    # ------------------------------------------------------------------
+
+    def apply(self, record: dict[str, Any]) -> None:
+        """Fold one event record (from a tailer) into the state."""
+        self._agg.add(record)
+        self.events_applied += 1
+        kind = record.get("event") or ""
+        ts = record.get("ts")
+        if isinstance(ts, (int, float)):
+            self.last_event_ts = float(ts)
+        self.last_event_kind = kind
+        pid = record.get("pid")
+        if isinstance(pid, int):
+            self.writer_pid = pid
+        if self.finished is not None and kind != "campaign_finished":
+            self.finished = None  # terminal event was not terminal after all
+
+        key = (str(record.get("spec") or ""), int(record.get("slot") or 0))
+        if kind == "log_opened":
+            if isinstance(ts, (int, float)):
+                self.opened_ts = float(ts)
+        elif kind == "run_started":
+            self.in_flight[key] = record
+        elif kind == "run_finished":
+            self.in_flight.pop(key, None)
+            self._settle(record)
+        elif kind in ("run_failed", "run_timeout"):
+            self.in_flight.pop(key, None)
+        elif kind == "heartbeat":
+            self.last_heartbeat = record
+        elif kind == "batch_finished":
+            self.batches += 1
+        elif kind == "campaign_finished":
+            self.finished = record
+            self.in_flight.clear()
+
+    def reset(self) -> None:
+        """Forget everything (the tailed log was rotated: new campaign)."""
+        self.__init__()
+
+    def _settle(self, record: dict[str, Any]) -> None:
+        wall = record.get("wall_s")
+        if isinstance(wall, (int, float)):
+            self.ewma_wall_s = (
+                float(wall)
+                if self.ewma_wall_s is None
+                else EWMA_ALPHA * float(wall)
+                + (1.0 - EWMA_ALPHA) * self.ewma_wall_s
+            )
+        ts = record.get("ts")
+        if isinstance(ts, (int, float)):
+            if self._last_done_ts is not None and ts > self._last_done_ts:
+                rate = 1.0 / (float(ts) - self._last_done_ts)
+                self.ewma_rate = (
+                    rate
+                    if self.ewma_rate is None
+                    else EWMA_ALPHA * rate + (1.0 - EWMA_ALPHA) * self.ewma_rate
+                )
+            self._last_done_ts = float(ts)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    @property
+    def summary(self) -> CampaignSummary:
+        """The live per-phase roll-up (same object the aggregator grows)."""
+        return self._agg.summary
+
+    @property
+    def phase(self) -> str:
+        """Name of the most recently active phase (last event's stamp)."""
+        for key in reversed(list(self._agg.summary.phases)):
+            return key
+        return ""
+
+    def status(self, now: float | None = None) -> str:
+        """``running`` / ``done`` / ``failed`` / ``stalled`` / ``empty``."""
+        if self.finished is not None:
+            status = str(self.finished.get("status") or "ok")
+            return "done" if status == "ok" else "failed"
+        if self.events_applied == 0:
+            return "empty"
+        if self.is_stalled(now):
+            return "stalled"
+        return "running"
+
+    def age_s(self, now: float | None = None) -> float | None:
+        """Seconds since the last event, or None before the first one."""
+        if self.last_event_ts is None:
+            return None
+        return max((now or time.time()) - self.last_event_ts, 0.0)
+
+    def is_stalled(self, now: float | None = None) -> bool:
+        """Quiet past the stall window *and* the writer pid is gone."""
+        age = self.age_s(now)
+        if age is None or age < STALL_AFTER_S or self.finished is not None:
+            return False
+        return not _pid_alive(self.writer_pid)
+
+    def throughput(self) -> float | None:
+        """Smoothed completions per second (None before two finishes)."""
+        return self.ewma_rate
+
+    def eta_s(self) -> float | None:
+        """ETA for the runs currently in flight, from the EWMA rate.
+
+        Only the outstanding work is priced — phases not yet submitted
+        are unknowable from the event stream alone, so this is "time
+        until the scheduler's current plate is clean", which is exactly
+        the straggler question a watcher is asking.
+        """
+        if not self.in_flight or self.finished is not None:
+            return None
+        if self.ewma_rate and self.ewma_rate > 0:
+            return len(self.in_flight) / self.ewma_rate
+        if self.ewma_wall_s:
+            return len(self.in_flight) * self.ewma_wall_s
+        return None
+
+    def stragglers(self, now: float | None = None) -> list[dict[str, Any]]:
+        """In-flight runs far beyond the EWMA wall (oldest first)."""
+        if not self.in_flight:
+            return []
+        now = now or time.time()
+        floor = STRAGGLER_MIN_S
+        if self.ewma_wall_s:
+            floor = max(floor, STRAGGLER_FACTOR * self.ewma_wall_s)
+        out = []
+        for (spec, slot), record in self.in_flight.items():
+            ts = record.get("ts")
+            if not isinstance(ts, (int, float)):
+                continue
+            running_s = now - float(ts)
+            if running_s >= floor:
+                out.append(
+                    {
+                        "spec": spec,
+                        "slot": slot,
+                        "phase": record.get("phase") or "",
+                        "running_s": running_s,
+                    }
+                )
+        out.sort(key=lambda r: -r["running_s"])
+        return out
+
+    def anomalies(self, now: float | None = None) -> list[Anomaly]:
+        """Every currently flagged condition (empty = healthy)."""
+        now = now or time.time()
+        out: list[Anomaly] = []
+        for straggler in self.stragglers(now):
+            wall = f"{self.ewma_wall_s:.2f}" if self.ewma_wall_s else "?"
+            out.append(
+                Anomaly(
+                    "straggler",
+                    f"{straggler['spec'][:12]} in flight "
+                    f"{straggler['running_s']:.0f}s "
+                    f"(EWMA wall {wall}s, phase "
+                    f"{straggler['phase'] or '(none)'})",
+                )
+            )
+        summary = self._agg.summary
+        failures = sum(p.failures for p in summary.phases.values())
+        settled = summary.runs_finished + failures
+        if failures >= ERROR_MIN_FAILURES and settled and (
+            failures / settled > ERROR_RATE
+        ):
+            out.append(
+                Anomaly(
+                    "errors",
+                    f"{failures} failure(s) in {settled} settled run(s) "
+                    f"({100.0 * failures / settled:.0f}%)",
+                )
+            )
+        if self.is_stalled(now):
+            age = self.age_s(now) or 0.0
+            out.append(
+                Anomaly(
+                    "stall",
+                    f"no events for {age:.0f}s and writer pid "
+                    f"{self.writer_pid} is gone (no campaign_finished)",
+                )
+            )
+        return out
+
+    def to_dict(self, now: float | None = None) -> dict[str, Any]:
+        """The machine-readable snapshot (``repro watch --json``)."""
+        now = now or time.time()
+        return {
+            "schema": STATE_SCHEMA_VERSION,
+            "status": self.status(now),
+            "phase": self.phase,
+            "opened_ts": self.opened_ts,
+            "last_event_ts": self.last_event_ts,
+            "last_event_kind": self.last_event_kind,
+            "age_s": self.age_s(now),
+            "writer_pid": self.writer_pid,
+            "writer_alive": _pid_alive(self.writer_pid),
+            "batches": self.batches,
+            "in_flight": [
+                {
+                    "spec": spec,
+                    "slot": slot,
+                    "phase": record.get("phase") or "",
+                    "started_ts": record.get("ts"),
+                }
+                for (spec, slot), record in self.in_flight.items()
+            ],
+            "ewma_wall_s": self.ewma_wall_s,
+            "throughput_runs_per_s": self.ewma_rate,
+            "eta_s": self.eta_s(),
+            "anomalies": [a.to_dict() for a in self.anomalies(now)],
+            "finished": dict(self.finished) if self.finished else None,
+            "summary": summary_to_dict(self._agg.summary),
+        }
+
+
+class CampaignMonitor:
+    """A tailer + state pair bound to one campaign directory.
+
+    ``refresh()`` polls the event log and folds whatever arrived; the
+    returned state is the same object every time, so callers can keep
+    derived references.  Rotation mid-tail resets the state — the new
+    ``events.jsonl`` is a new campaign, and stale progress from the old
+    one must not pollute its dashboard.
+    """
+
+    def __init__(self, campaign: str | Path) -> None:
+        path = Path(campaign)
+        if path.is_dir() or not path.suffixes:
+            path = path / EVENTS_FILENAME if path.is_dir() else path
+        self.events_path = (
+            path if path.name.endswith(".jsonl") else path / EVENTS_FILENAME
+        )
+        self.tailer = JsonlTailer(self.events_path, events_only=True)
+        self.state = CampaignState()
+
+    def refresh(self) -> CampaignState:
+        chunk = self.tailer.poll()
+        if chunk.rotated or chunk.truncated:
+            self.state.reset()
+        for record in chunk.records:
+            self.state.apply(record)
+        return self.state

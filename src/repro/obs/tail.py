@@ -1,0 +1,114 @@
+"""Crash-safe tailing of campaign JSONL logs (`events`/`timeseries`).
+
+A campaign writes its logs with line-buffered appends; a live dashboard
+reads them *while they grow*.  :class:`JsonlTailer` makes that safe:
+
+* **Torn tails.**  Only newline-terminated lines are consumed
+  (:func:`repro.obs.events.read_jsonl_incremental`), so a line caught
+  mid-write is picked up complete on the next poll — never half-parsed,
+  never lost.
+* **Rotation.**  Re-running a campaign into the same directory rotates
+  ``events.jsonl`` to ``events.jsonl.1`` and starts a fresh file.  The
+  tailer notices the inode swap, drains the remainder of the rotated
+  file first (nothing written between polls is lost), then restarts at
+  offset 0 on the new file and reports ``rotated=True`` so state models
+  can reset.
+* **Truncation / not-yet-existing files.**  A file shorter than the
+  resume offset (clobbered without rotation) restarts from 0; a file
+  that does not exist yet polls as empty until the campaign creates it.
+
+``poll()`` returns a :class:`TailChunk`; feed its records into a
+:class:`~repro.obs.state.CampaignState` (or anything else) and keep
+calling.  The tailer holds no file handles between polls, so it never
+pins a rotated file's disk space and survives the watched process dying
+at any point.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.obs.events import read_jsonl_incremental
+
+__all__ = ["JsonlTailer", "TailChunk"]
+
+
+@dataclass
+class TailChunk:
+    """What one :meth:`JsonlTailer.poll` pass saw."""
+
+    records: list[dict[str, Any]] = field(default_factory=list)
+    offset: int = 0
+    rotated: bool = False
+    truncated: bool = False
+
+    def __bool__(self) -> bool:
+        return bool(self.records) or self.rotated or self.truncated
+
+
+def _stat(path: Path) -> os.stat_result | None:
+    try:
+        return path.stat()
+    except OSError:
+        return None
+
+
+class JsonlTailer:
+    """Incremental reader for one growing JSONL file.
+
+    Args:
+        path: The log file (may not exist yet).
+        events_only: Keep only records carrying an ``event`` key (the
+            campaign event schema); off for ``timeseries.jsonl``.
+    """
+
+    def __init__(self, path: str | Path, *, events_only: bool = False) -> None:
+        self.path = Path(path)
+        self.offset = 0
+        self.events_only = events_only
+        self._ino: int | None = None
+
+    @property
+    def rotated_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".1")
+
+    def _read(self, path: Path, offset: int) -> tuple[list[dict], int]:
+        records, resume = read_jsonl_incremental(path, offset)
+        if self.events_only:
+            records = [r for r in records if "event" in r]
+        return records, resume
+
+    def poll(self) -> TailChunk:
+        """Read everything complete since the last poll (never raises)."""
+        chunk = TailChunk(offset=self.offset)
+        stat = _stat(self.path)
+        if stat is None:
+            return chunk  # not created yet (or already cleaned up)
+
+        if self._ino is None:
+            self._ino = stat.st_ino
+        elif stat.st_ino and stat.st_ino != self._ino:
+            # The file was rotated out from under us: drain whatever the
+            # writer appended to the old file between our last poll and
+            # the rotation (it now lives at <name>.1), then restart on
+            # the fresh file.
+            old = _stat(self.rotated_path)
+            if old is not None and old.st_ino == self._ino:
+                drained, _resume = self._read(self.rotated_path, self.offset)
+                chunk.records.extend(drained)
+            chunk.rotated = True
+            self._ino = stat.st_ino
+            self.offset = 0
+        elif stat.st_size < self.offset:
+            # Same inode but shorter than where we left off: truncated
+            # in place (no rotation evidence) — restart from the top.
+            chunk.truncated = True
+            self.offset = 0
+
+        records, self.offset = self._read(self.path, self.offset)
+        chunk.records.extend(records)
+        chunk.offset = self.offset
+        return chunk

@@ -108,6 +108,56 @@ class CampaignSummary:
         return sum(p.cache_hits for p in self.phases.values())
 
 
+def phase_to_dict(phase: PhaseSummary) -> dict[str, Any]:
+    """Machine-readable :class:`PhaseSummary` (shared by stats/watch/live)."""
+    return {
+        "name": phase.name,
+        "runs_started": phase.runs_started,
+        "runs_finished": phase.runs_finished,
+        "failures": phase.failures,
+        "retries": phase.retries,
+        "requeues": phase.requeues,
+        "timeouts": phase.timeouts,
+        "cache_hits": phase.cache_hits,
+        "run_wall_s": phase.run_wall_s,
+        "run_cpu_s": phase.run_cpu_s,
+        "wall_s": phase.wall_s,
+    }
+
+
+def summary_to_dict(summary: CampaignSummary) -> dict[str, Any]:
+    """Machine-readable :class:`CampaignSummary`.
+
+    This is the one aggregation encoding shared by ``repro stats --format
+    json``, ``repro watch --json`` and the live HTML status page, so
+    dashboards and CI scripts never scrape the text tables.
+    """
+    return {
+        "events_total": summary.events_total,
+        "runs_finished": summary.runs_finished,
+        "cache_hits": summary.cache_hits,
+        "failures": sum(p.failures for p in summary.phases.values()),
+        "retries": sum(p.retries for p in summary.phases.values()),
+        "requeues": sum(p.requeues for p in summary.phases.values()),
+        "timeouts": sum(p.timeouts for p in summary.phases.values()),
+        "heartbeats": summary.heartbeats,
+        "max_rss_kb": summary.max_rss_kb,
+        "run_wall_s": sum(p.run_wall_s for p in summary.phases.values()),
+        "phases": [phase_to_dict(p) for p in summary.phases.values()],
+        "counters": dict(summary.counters),
+        "spans": dict(summary.spans),
+        "slowest_runs": [
+            {
+                "spec": r.get("spec"),
+                "phase": r.get("phase"),
+                "wall_s": r.get("wall_s"),
+                "cpu_s": r.get("cpu_s"),
+            }
+            for r in summary.slowest_runs
+        ],
+    }
+
+
 _SLOWEST_N = 5
 
 
@@ -235,6 +285,18 @@ def _detail(record: dict[str, Any]) -> str:
         return f"{n} job(s) outstanding, {record.get('elapsed_s', 0.0):.0f}s in"
     if kind in ("phase_started", "phase_finished"):
         return str(record.get("name", ""))
+    if kind == "batch_finished":
+        return (
+            f"{record.get('jobs', 0)} job(s), "
+            f"{record.get('cache_hits', 0)} cached, "
+            f"{record.get('executed', 0)} executed"
+        )
+    if kind == "campaign_finished":
+        return (
+            f"status {record.get('status', '?')}, "
+            f"{record.get('runs_executed', 0)} run(s), "
+            f"{record.get('wall_s', 0.0):.1f}s wall"
+        )
     return ""
 
 
@@ -251,7 +313,10 @@ def render_trace(
     matching events are retained, so memory stays bounded no matter how
     long the log is.  ``limit`` of ``None`` or ``0`` keeps everything.
     """
-    traced = _RUN_EVENTS + ("phase_started", "phase_finished")
+    traced = _RUN_EVENTS + (
+        "phase_started", "phase_finished", "batch_finished",
+        "campaign_finished",
+    )
     agg = _Aggregator()
     shown: deque[dict[str, Any]] | list[dict[str, Any]]
     shown = deque(maxlen=limit) if limit else []

@@ -1,0 +1,189 @@
+"""``repro watch``: a curses-free live terminal dashboard.
+
+Tails a campaign's ``events.jsonl`` through a
+:class:`~repro.obs.state.CampaignMonitor` and redraws a fixed-layout
+status screen at a configurable interval: overall status, totals,
+per-phase progress bars, the runs currently in flight, throughput / ETA
+from the EWMA model, and any anomaly flags (stragglers, error rate,
+stall).  Plain ANSI only — clear-and-home escapes plus unicode block
+bars — so it works over ssh, inside tmux, and in CI logs alike.
+
+Three exit modes:
+
+* interactive loop (default): redraw every ``--interval`` seconds until
+  the campaign emits ``campaign_finished`` (one last frame is drawn) or
+  the user hits Ctrl-C;
+* ``--once``: render a single frame and exit — scriptable, used by CI;
+* ``--json``: with ``--once``, dump :meth:`CampaignState.to_dict`
+  instead of the human frame (without ``--once``, stream one JSON
+  snapshot per interval, one per line).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, Callable, TextIO
+
+from repro.obs.state import CampaignMonitor, CampaignState
+
+__all__ = ["render_watch", "watch_campaign"]
+
+#: ANSI: clear screen + cursor home (redraw without scrollback spam).
+CLEAR = "\x1b[2J\x1b[H"
+
+_BAR_WIDTH = 28
+_STATUS_GLYPH = {
+    "running": "▶",
+    "done": "✔",
+    "failed": "✘",
+    "stalled": "⚠",
+    "empty": "·",
+}
+
+
+def _bar(done: int, total: int, width: int = _BAR_WIDTH) -> str:
+    if total <= 0:
+        return "░" * width
+    filled = max(0, min(width, round(width * done / total)))
+    return "█" * filled + "░" * (width - filled)
+
+
+def _fmt_s(seconds: float | None) -> str:
+    if seconds is None:
+        return "--"
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{int(seconds // 60)}m{int(seconds % 60):02d}s"
+    return f"{int(seconds // 3600)}h{int(seconds % 3600 // 60):02d}m"
+
+
+def render_watch(
+    state: CampaignState, *, campaign: str = "", now: float | None = None
+) -> str:
+    """One full dashboard frame as a string (no escapes; caller clears)."""
+    now = now or time.time()
+    status = state.status(now)
+    summary = state.summary
+    lines: list[str] = []
+
+    glyph = _STATUS_GLYPH.get(status, "?")
+    head = f"{glyph} {status.upper()}"
+    if campaign:
+        head += f"  {campaign}"
+    if state.phase:
+        head += f"  [{state.phase}]"
+    lines.append(head)
+
+    failures = sum(p.failures for p in summary.phases.values())
+    age = state.age_s(now)
+    lines.append(
+        f"  runs {summary.runs_finished}  hits {summary.cache_hits}  "
+        f"fails {failures}  in-flight {len(state.in_flight)}  "
+        f"batches {state.batches}  last event {_fmt_s(age)} ago"
+    )
+
+    rate = state.throughput()
+    rate_txt = f"{rate:.2f} runs/s" if rate else "--"
+    wall_txt = f"{state.ewma_wall_s:.2f}s" if state.ewma_wall_s else "--"
+    lines.append(
+        f"  throughput {rate_txt}  ewma wall {wall_txt}  "
+        f"eta {_fmt_s(state.eta_s())}"
+    )
+    lines.append("")
+
+    if summary.phases:
+        lines.append("  phases:")
+        name_w = max(len(n) for n in summary.phases)
+        for name, p in summary.phases.items():
+            done = p.runs_finished + p.cache_hits
+            total = max(p.runs_started + p.cache_hits, done)
+            lines.append(
+                f"    {name:<{name_w}}  {_bar(done, total)}  "
+                f"{done}/{total}"
+                + (f"  ({p.failures} failed)" if p.failures else "")
+            )
+        lines.append("")
+
+    if state.in_flight:
+        lines.append("  in flight:")
+        for (spec, slot), record in list(state.in_flight.items())[:8]:
+            ts = record.get("ts")
+            running = (
+                _fmt_s(now - float(ts)) if isinstance(ts, (int, float)) else "--"
+            )
+            lines.append(
+                f"    {spec[:12]:<12}  slot {slot}  "
+                f"{record.get('phase') or '(none)':<20}  {running}"
+            )
+        extra = len(state.in_flight) - 8
+        if extra > 0:
+            lines.append(f"    ... and {extra} more")
+        lines.append("")
+
+    anomalies = state.anomalies(now)
+    if anomalies:
+        lines.append("  anomalies:")
+        for a in anomalies:
+            lines.append(f"    ⚠ {a.kind}: {a.detail}")
+        lines.append("")
+
+    if state.finished is not None:
+        fin = state.finished
+        lines.append(
+            f"  finished: status {fin.get('status', '?')}, "
+            f"{fin.get('runs_executed', 0)} executed, "
+            f"{fin.get('cache_hits', 0)} cached, "
+            f"{fin.get('wall_s', 0.0):.1f}s wall"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def watch_campaign(
+    campaign: str,
+    *,
+    interval: float = 1.0,
+    once: bool = False,
+    as_json: bool = False,
+    stream: TextIO | None = None,
+    clock: Callable[[], float] = time.time,
+    sleep: Callable[[float], Any] = time.sleep,
+    max_frames: int | None = None,
+) -> int:
+    """Run the watch loop; returns a process exit code.
+
+    ``--once`` against a campaign with no event log exits 2 (CI can
+    distinguish "not started" from "empty frame"); the interactive loop
+    instead keeps polling until the log appears.  ``max_frames`` bounds
+    the loop for tests.
+    """
+    out = stream if stream is not None else sys.stdout
+    monitor = CampaignMonitor(campaign)
+    frames = 0
+    try:
+        while True:
+            state = monitor.refresh()
+            now = clock()
+            if once and state.events_applied == 0:
+                print(
+                    f"no event log at {monitor.events_path}",
+                    file=sys.stderr,
+                )
+                return 2
+            if as_json:
+                out.write(json.dumps(state.to_dict(now), sort_keys=True) + "\n")
+            else:
+                if not once:
+                    out.write(CLEAR)
+                out.write(render_watch(state, campaign=campaign, now=now))
+            out.flush()
+            frames += 1
+            if once or state.finished is not None:
+                return 0
+            if max_frames is not None and frames >= max_frames:
+                return 0
+            sleep(interval)
+    except KeyboardInterrupt:
+        return 0

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -171,6 +173,40 @@ class TestTraceAndStatsCommands:
         assert "cache hits" in stats_out
         assert "timing spans" in stats_out
         assert "pipeline.runs" in stats_out
+
+        # The campaign's terminal event landed in the log ...
+        assert "campaign_finished" in trace_out
+        # ... and the metrics registry snapshotted beside it.
+        prom = out / "metrics.prom"
+        assert prom.exists()
+        assert "repro_runs_total" in prom.read_text()
+        metrics_payload = json.loads((out / "metrics.json").read_text())
+        assert any(
+            m["name"] == "repro_runs_total"
+            for m in metrics_payload["metrics"]
+        )
+
+        # One aggregation path, machine-readable tense.
+        assert main(["stats", str(out), "--format", "json"]) == 0
+        stats_json = json.loads(capsys.readouterr().out)
+        assert stats_json["runs_finished"] >= 1
+        assert stats_json["phases"]
+
+        # A post-hoc watch frame sees the terminal event as "done".
+        assert main(["watch", str(out), "--once", "--json"]) == 0
+        watch_payload = json.loads(capsys.readouterr().out)
+        assert watch_payload["status"] == "done"
+        assert watch_payload["in_flight"] == []
+        assert watch_payload["finished"]["status"] == "ok"
+
+        # The live page renders statically once the campaign is over.
+        assert main(["report", str(out), "--live", "--once"]) == 0
+        capsys.readouterr()
+        live = out / "live.html"
+        assert live.exists()
+        page = live.read_text()
+        assert "campaign finished" in page
+        assert "http-equiv" not in page
 
     def test_trace_on_missing_log(self, tmp_path, capsys):
         from repro.cli import main

@@ -1,0 +1,169 @@
+"""Tests for crash-safe incremental JSONL reading and tailing.
+
+Covers satellite guarantees of the live-monitoring pipeline: a torn
+final line is skipped *without being consumed* (the resume offset picks
+it up once completed), rotation to ``.1`` mid-tail is drained then
+reported, in-place truncation restarts from the top, and a tailer racing
+a live writer thread sees every record exactly once.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs.events import (
+    parse_jsonl_line,
+    read_events,
+    read_events_incremental,
+    read_jsonl_incremental,
+)
+from repro.obs.tail import JsonlTailer
+
+
+def _line(i: int, **extra) -> bytes:
+    record = {"event": "run_finished", "seq": i, **extra}
+    return (json.dumps(record) + "\n").encode("utf-8")
+
+
+class TestParseLine:
+    def test_garbage_returns_none(self):
+        assert parse_jsonl_line(b"{not json") is None
+        assert parse_jsonl_line(b"") is None
+        assert parse_jsonl_line(b"[1, 2]") is None
+        assert parse_jsonl_line(b"\xff\xfe") is None
+
+    def test_valid_line(self):
+        assert parse_jsonl_line(b'{"event": "x"}\n') == {"event": "x"}
+
+
+class TestIncrementalRead:
+    def test_partial_final_line_not_consumed(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_bytes(_line(0) + b'{"event": "run_started", "se')
+        records, offset = read_jsonl_incremental(path)
+        assert [r["seq"] for r in records] == [0]
+        assert offset == len(_line(0))
+        # Writer completes the torn line: the resume offset picks it up
+        # whole, never half-parsed, never lost.
+        path.write_bytes(
+            _line(0) + b'{"event": "run_started", "seq": 1}\n'
+        )
+        records, offset = read_jsonl_incremental(path, offset)
+        assert [r["seq"] for r in records] == [1]
+        assert offset == path.stat().st_size
+
+    def test_missing_file_returns_offset_unchanged(self, tmp_path):
+        records, offset = read_jsonl_incremental(tmp_path / "nope", 42)
+        assert records == []
+        assert offset == 42
+
+    def test_garbage_complete_lines_are_skipped_but_consumed(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_bytes(_line(0) + b"not json at all\n" + _line(1))
+        records, offset = read_jsonl_incremental(path)
+        assert [r["seq"] for r in records] == [0, 1]
+        assert offset == path.stat().st_size
+
+    def test_events_only_filter(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_bytes(_line(0) + b'{"spec": "x", "series": []}\n')
+        records, _offset = read_events_incremental(path)
+        assert len(records) == 1
+
+    def test_read_events_skips_torn_tail(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_bytes(_line(0) + _line(1) + b'{"event": "torn')
+        assert [r["seq"] for r in read_events(path)] == [0, 1]
+
+
+class TestJsonlTailer:
+    def test_polls_growth_incrementally(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        tailer = JsonlTailer(path, events_only=True)
+        assert not tailer.poll()  # not created yet
+
+        path.write_bytes(_line(0))
+        chunk = tailer.poll()
+        assert [r["seq"] for r in chunk.records] == [0]
+
+        with path.open("ab") as fh:
+            fh.write(_line(1) + _line(2))
+        chunk = tailer.poll()
+        assert [r["seq"] for r in chunk.records] == [1, 2]
+        assert not tailer.poll()  # quiet
+
+    def test_torn_tail_completes_across_polls(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_bytes(_line(0))
+        tailer = JsonlTailer(path)
+        tailer.poll()
+        with path.open("ab") as fh:
+            fh.write(b'{"event": "run_started"')
+        assert not tailer.poll().records
+        with path.open("ab") as fh:
+            fh.write(b', "seq": 1}\n')
+        assert [r["seq"] for r in tailer.poll().records] == [1]
+
+    def test_rotation_drains_old_then_restarts(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_bytes(_line(0))
+        tailer = JsonlTailer(path)
+        assert [r["seq"] for r in tailer.poll().records] == [0]
+
+        # Writer appends once more, then a re-run rotates the log and
+        # starts fresh — exactly what EventLog does on re-open.
+        with path.open("ab") as fh:
+            fh.write(_line(1))
+        path.replace(tmp_path / "events.jsonl.1")
+        path.write_bytes(_line(100))
+
+        chunk = tailer.poll()
+        assert chunk.rotated
+        assert [r["seq"] for r in chunk.records] == [1, 100]
+        assert tailer.offset == len(_line(100))
+
+    def test_truncation_restarts_from_top(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_bytes(_line(0) + _line(1))
+        tailer = JsonlTailer(path)
+        tailer.poll()
+        # Clobbered in place (same inode), now shorter than our offset.
+        with path.open("r+b") as fh:
+            fh.truncate(0)
+            fh.write(_line(7))
+        chunk = tailer.poll()
+        assert chunk.truncated
+        assert [r["seq"] for r in chunk.records] == [7]
+
+    def test_concurrent_writer_loses_nothing(self, tmp_path):
+        """A tailer racing a live writer sees every record exactly once."""
+        path = tmp_path / "events.jsonl"
+        total = 500
+        done = threading.Event()
+
+        def writer() -> None:
+            with path.open("wb") as fh:
+                for i in range(total):
+                    payload = _line(i)
+                    # Worst case for a reader: flush mid-record so torn
+                    # tails are routinely visible.
+                    fh.write(payload[: len(payload) // 2])
+                    fh.flush()
+                    fh.write(payload[len(payload) // 2:])
+                    fh.flush()
+            done.set()
+
+        tailer = JsonlTailer(path, events_only=True)
+        seen: list[int] = []
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            while True:
+                finished = done.is_set()
+                seen.extend(r["seq"] for r in tailer.poll().records)
+                if finished:
+                    break
+        finally:
+            thread.join()
+        assert seen == list(range(total))
